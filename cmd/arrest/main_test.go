@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseVersion(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"all", 0, false},
+		{"All", 0, false},
+		{"none", -1, false},
+		{"ea1", 1, false},
+		{"EA7", 7, false},
+		{"ea8", 0, true},
+		{"", 0, true},
+		{"bogus", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseVersion(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseVersion(%q) error = %v", tt.in, err)
+			continue
+		}
+		if err == nil && int(got) != tt.want {
+			t.Errorf("parseVersion(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

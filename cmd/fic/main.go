@@ -1,0 +1,144 @@
+// Command fic is the fault-injection campaign controller (the paper's
+// FIC3 analogue). It runs the paper's E1 and E2 campaigns and prints
+// the corresponding result tables, or prints the static tables and
+// figures.
+//
+// Usage:
+//
+//	fic -experiment e1           # Tables 7 and 8 (22 400 runs at full scale)
+//	fic -experiment e2           # Table 9 (5000 runs)
+//	fic -experiment all          # everything plus the headline block
+//	fic -print table4|table6|figure2
+//	fic -grid 3                  # scale the test-case grid down (3x3)
+//	fic -recovery previous       # ablation: recovery repairs state
+//	fic -period 20 -start 500    # injection schedule (ms)
+//	fic -workers N -seed S
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"easig"
+	"easig/internal/inject"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experimentF = flag.String("experiment", "", "campaign to run: e1, e2 or all")
+		printF      = flag.String("print", "", "static output: table4, table6 or figure2")
+		grid        = flag.Int("grid", 5, "test-case grid edge (5 = the paper's 25 cases)")
+		seed        = flag.Int64("seed", 2000, "campaign seed")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		recovery    = flag.String("recovery", "none", "assertion recovery: none (paper) or previous")
+		period      = flag.Int64("period", 20, "injection period in ms")
+		start       = flag.Int64("start", 500, "first injection time in ms")
+		observe     = flag.Int64("observe", 40000, "observation period in ms")
+		verify      = flag.Bool("verify", false, "verify the fault-free grid is detection-free before running")
+		jsonPath    = flag.String("json", "", "also write machine-readable results to this file")
+	)
+	flag.Parse()
+
+	switch *printF {
+	case "":
+	case "table4":
+		fmt.Println(easig.Table4())
+		return nil
+	case "table6":
+		fmt.Println(easig.Table6(*grid * *grid))
+		return nil
+	case "figure2":
+		fmt.Println(easig.Figure2(72, 12, *seed))
+		return nil
+	default:
+		return fmt.Errorf("unknown -print target %q", *printF)
+	}
+
+	var rp easig.RecoveryPolicy
+	switch *recovery {
+	case "none":
+		rp = easig.NoRecovery{}
+	case "previous":
+		rp = easig.PreviousValue{}
+	default:
+		return fmt.Errorf("unknown -recovery %q (want none or previous)", *recovery)
+	}
+
+	cfg := easig.CampaignConfig{
+		Grid:          *grid,
+		Seed:          *seed,
+		Workers:       *workers,
+		Recovery:      rp,
+		ObservationMs: *observe,
+		Policy:        inject.Policy{StartMs: *start, PeriodMs: *period},
+	}
+
+	if *verify {
+		fmt.Fprintln(os.Stderr, "fic: verifying the fault-free grid...")
+		if err := easig.VerifyNominal(cfg); err != nil {
+			return fmt.Errorf("nominal verification failed: %w", err)
+		}
+	}
+
+	var (
+		e1  *easig.E1Result
+		e2  *easig.E2Result
+		err error
+	)
+	switch *experimentF {
+	case "e1", "all":
+		began := time.Now()
+		fmt.Fprintf(os.Stderr, "fic: running E1 (%d errors x %d cases x 8 versions)...\n", 112, *grid**grid)
+		if e1, err = easig.RunE1(cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fic: E1 done: %d runs in %v\n", e1.Runs, time.Since(began).Round(time.Second))
+		fmt.Println(easig.Table6(*grid * *grid))
+		fmt.Println(easig.Table7(e1))
+		fmt.Println(easig.Table8(e1))
+		fmt.Println(easig.DetectionBreakdown(e1, easig.VersionAll))
+	case "e2":
+	case "":
+		return fmt.Errorf("nothing to do: pass -experiment e1|e2|all or -print table4|table6|figure2")
+	default:
+		return fmt.Errorf("unknown -experiment %q", *experimentF)
+	}
+	if *experimentF == "e2" || *experimentF == "all" {
+		began := time.Now()
+		fmt.Fprintf(os.Stderr, "fic: running E2 (200 errors x %d cases)...\n", *grid**grid)
+		if e2, err = easig.RunE2(cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fic: E2 done: %d runs in %v\n", e2.Runs, time.Since(began).Round(time.Second))
+		fmt.Println(easig.Table9(e2))
+	}
+	if e1 != nil || e2 != nil {
+		fmt.Println(easig.ComputeHeadline(e1, e2))
+	}
+	if e1 != nil && e2 != nil {
+		if fit, err := easig.FitModel(e1, e2); err == nil {
+			fmt.Println(fit)
+		}
+	}
+	if *jsonPath != "" && (e1 != nil || e2 != nil) {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *jsonPath, err)
+		}
+		defer f.Close()
+		if err := easig.WriteJSON(f, e1, e2); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "fic: wrote %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command sigmon applies executable assertions to CSV signal traces.
+//
+// In -check mode it instantiates a monitor from command-line
+// parameters and reports every violation in the named trace column. In
+// -calibrate mode it derives a parameter-set proposal from the trace
+// (the core.Calibrator workflow), printing a ready-to-use constraint
+// specification.
+//
+// Usage:
+//
+//	sigmon -check -signal IsValue -class Co/Ra -min 0 -max 1740 \
+//	       -rmax-incr 90 -rmax-decr 90 < trace.csv
+//	sigmon -calibrate -signal pulscnt -margin 0.1 < trace.csv
+//
+// Trace CSV format: header "t_ms,<name>,...", one row per sample (the
+// format written by arrest -csv).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"easig"
+	"easig/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		check     = flag.Bool("check", false, "run assertions over the trace")
+		calibrate = flag.Bool("calibrate", false, "propose parameters from the trace")
+		signal    = flag.String("signal", "", "trace column to monitor")
+		classF    = flag.String("class", "Co/Ra", "signal class (Table 4 notation)")
+		minF      = flag.Int64("min", 0, "smin")
+		maxF      = flag.Int64("max", 0, "smax")
+		rMinIncr  = flag.Int64("rmin-incr", 0, "minimum increase rate")
+		rMaxIncr  = flag.Int64("rmax-incr", 0, "maximum increase rate")
+		rMinDecr  = flag.Int64("rmin-decr", 0, "minimum decrease rate")
+		rMaxDecr  = flag.Int64("rmax-decr", 0, "maximum decrease rate")
+		wrap      = flag.Bool("wrap", false, "allow wrap-around")
+		margin    = flag.Float64("margin", 0.1, "calibration margin fraction")
+	)
+	flag.Parse()
+
+	if *check == *calibrate {
+		return fmt.Errorf("pass exactly one of -check or -calibrate")
+	}
+	if *signal == "" {
+		return fmt.Errorf("-signal is required")
+	}
+	set, err := trace.ReadCSV(os.Stdin)
+	if err != nil {
+		return err
+	}
+	tr, ok := set.Trace(*signal)
+	if !ok {
+		return fmt.Errorf("trace has no column %q", *signal)
+	}
+	if tr.Len() == 0 {
+		return fmt.Errorf("column %q is empty", *signal)
+	}
+
+	if *calibrate {
+		var cal easig.ContinuousCalibrator
+		for _, s := range tr.Samples {
+			cal.Observe(s)
+		}
+		cal.EndRun()
+		p, class, err := cal.Propose(easig.CalibrationOptions{
+			BoundMargin: *margin,
+			RateMargin:  *margin,
+			Wrap:        *wrap,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("signal %s: %d samples\n", *signal, tr.Len())
+		fmt.Printf("proposed class: %v\n", class)
+		fmt.Printf("proposed parameters: %v\n", p)
+		fmt.Printf("flags: -class %s -min %d -max %d -rmin-incr %d -rmax-incr %d -rmin-decr %d -rmax-decr %d\n",
+			class, p.Min, p.Max, p.Incr.Min, p.Incr.Max, p.Decr.Min, p.Decr.Max)
+		return nil
+	}
+
+	class, err := easig.ParseClass(*classF)
+	if err != nil {
+		return err
+	}
+	if !class.IsContinuous() {
+		return fmt.Errorf("sigmon -check supports continuous classes; got %v", class)
+	}
+	p := easig.Continuous{
+		Min:  *minF,
+		Max:  *maxF,
+		Incr: easig.Rate{Min: *rMinIncr, Max: *rMaxIncr},
+		Decr: easig.Rate{Min: *rMinDecr, Max: *rMaxDecr},
+		Wrap: *wrap,
+	}
+	violations := 0
+	mon, err := easig.NewContinuousMonitor(*signal, class, p,
+		easig.WithRecovery(easig.NoRecovery{}),
+		easig.WithSink(easig.SinkFunc(func(v easig.Violation) {
+			violations++
+			fmt.Printf("t=%dms: %v\n", v.Time, v)
+		})))
+	if err != nil {
+		return err
+	}
+	for i, s := range tr.Samples {
+		mon.Test(int64(i)*tr.PeriodMs, s)
+	}
+	fmt.Printf("%s: %d samples, %d violations\n", *signal, tr.Len(), violations)
+	if violations > 0 {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Arrestment: run the paper's full case study through the public API —
+// the aircraft-arresting system with all seven executable assertions —
+// first fault-free, then with a bit-flip error injected into the
+// pulscnt signal every 20 ms, and compare the outcomes.
+//
+// Run with: go run ./examples/arrestment
+package main
+
+import (
+	"fmt"
+
+	"easig"
+)
+
+func main() {
+	tc := easig.TestCase{MassKg: 16000, VelocityMS: 65}
+
+	fmt.Printf("test case: %.0f kg aircraft engaging at %.0f m/s\n\n", tc.MassKg, tc.VelocityMS)
+
+	// Golden run: no injection. All 25 paper test cases arrest
+	// detection-free; this is one of them scaled to our inputs.
+	golden, err := easig.Run(easig.RunConfig{
+		TestCase:        tc,
+		Version:         easig.VersionAll,
+		Seed:            11,
+		FullObservation: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	report("golden run (no injection)", golden)
+
+	// Find the E1 error that flips bit 13 of pulscnt (Table 6 numbers
+	// errors S1..S112 signal-major; pulscnt is the fourth signal).
+	var chosen easig.InjectionError
+	for _, e := range easig.BuildE1() {
+		if e.Signal == "pulscnt" && e.Bit == 5 && e.Addr%2 == 0 { // word bit 13
+			chosen = e
+			break
+		}
+	}
+	faulty, err := easig.Run(easig.RunConfig{
+		TestCase:        tc,
+		Version:         easig.VersionAll,
+		Error:           &chosen,
+		Seed:            11,
+		FullObservation: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	report(fmt.Sprintf("faulty run (%v)", chosen), faulty)
+
+	// The same error with every assertion disabled: the error is free
+	// to corrupt the checkpoint logic silently.
+	silent, err := easig.Run(easig.RunConfig{
+		TestCase:        tc,
+		Version:         easig.VersionNone,
+		Error:           &chosen,
+		Seed:            11,
+		FullObservation: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	report("faulty run with assertions disabled", silent)
+}
+
+func report(label string, r easig.RunResult) {
+	fmt.Println(label + ":")
+	if r.Stopped {
+		fmt.Printf("  stopped after %.1f m (t=%.2f s)\n", r.DistanceM, float64(r.StoppedMs)/1000)
+	} else {
+		fmt.Printf("  did NOT stop (travel %.1f m)\n", r.DistanceM)
+	}
+	fmt.Printf("  peak force %.0f kN, peak retardation %.2f g\n", r.PeakForceN/1000, r.PeakRetardationMS2/9.80665)
+	if r.Failed {
+		fmt.Printf("  FAILURE: %s (%s)\n", r.Failure.Kind, r.Failure.Detail)
+	}
+	if r.Detected {
+		fmt.Printf("  detected: %d violations, latency %d ms\n", r.Detections, r.LatencyMs)
+	} else {
+		fmt.Println("  detected: no")
+	}
+	fmt.Println()
+}

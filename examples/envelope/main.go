@@ -1,0 +1,85 @@
+// Envelope: dynamic constraints (paper §2.1: "dynamic constraints
+// ... may also be considered").
+//
+// A pressure measurement must track its set point. No useful *static*
+// parameter set exists for it: the legal value depends on where the
+// set point currently is. An EnvelopeTracker derives a fresh Pcont
+// from the set point every sample — bounds at set point ± tolerance,
+// rates following the set point's own movement — and the monitor's
+// parameters are updated at run time.
+//
+// The demo detects a stuck-at sensor fault that a static parameter set
+// would accept forever: the frozen value stays inside the static
+// bounds but leaves the moving envelope.
+//
+// Run with: go run ./examples/envelope
+package main
+
+import (
+	"fmt"
+
+	"easig"
+)
+
+func main() {
+	tracker := easig.EnvelopeTracker{
+		Above: 250, // tolerated tracking error incl. ramp lag, counts
+		Below: 250,
+		Slack: 6, // sensor noise allowance per sample
+		Floor: 0,
+		Ceil:  1700,
+	}
+	setPoint := int64(400)
+	monitor, err := easig.NewContinuousMonitor(
+		"measured_pressure",
+		easig.ContinuousRandom,
+		tracker.Observe(setPoint),
+		easig.WithSink(easig.SinkFunc(func(v easig.Violation) {
+			fmt.Printf("  !! %v\n", v)
+		})),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	measured := float64(setPoint)
+	stuckAt := int64(-1)
+	sample := func(t int64) int64 {
+		if stuckAt >= 0 {
+			return stuckAt // the sensor froze
+		}
+		measured += (float64(setPoint) - measured) * 0.3
+		return int64(measured)
+	}
+
+	for t := int64(0); t < 40; t++ {
+		switch t {
+		case 10:
+			fmt.Println("-- set point ramps up 400 -> 1400")
+		case 18:
+			fmt.Println("-- sensor freezes (stuck-at fault)")
+			stuckAt = sample(t)
+		}
+		if t >= 10 && setPoint < 1400 {
+			setPoint += 50
+		}
+
+		// Derive this sample's acceptance region from the set point
+		// and install it before testing.
+		if err := monitor.UpdateContinuous(0, tracker.Observe(setPoint)); err != nil {
+			panic(err)
+		}
+		s := sample(t)
+		_, violation := monitor.Test(t, s)
+		status := "ok"
+		if violation != nil {
+			status = "DETECTED"
+		}
+		fmt.Printf("t=%2d set=%4d measured=%4d  %s\n", t, setPoint, s, status)
+		if violation != nil {
+			fmt.Println("\nthe stuck sensor left the dynamic envelope: fault detected")
+			return
+		}
+	}
+	fmt.Println("no fault detected")
+}

@@ -1,0 +1,110 @@
+// Modes: one signal, different constraints per phase of operation
+// (paper §2.1, "Signal modes").
+//
+// An industrial oven's chamber temperature behaves differently during
+// ramp-up, soak and cool-down:
+//
+//	ramp   dynamic monotonic increase, 2..12 tenths-°C per sample
+//	soak   random around the set point, tight band
+//	cool   dynamic monotonic decrease
+//
+// One monitor holds one Pcont per mode; the mode variable itself is a
+// discrete signal protected by its own assertion, as the paper
+// suggests ("mode variables can be classified as discrete signals in
+// themselves").
+//
+// Run with: go run ./examples/modes
+package main
+
+import (
+	"fmt"
+
+	"easig"
+)
+
+const (
+	modeRamp = iota
+	modeSoak
+	modeCool
+)
+
+var modeName = []string{"ramp", "soak", "cool"}
+
+func main() {
+	temp, err := easig.NewContinuousModes(
+		"oven_temp",
+		easig.ContinuousRandom, // the most general class across modes
+		map[int]easig.Continuous{
+			modeRamp: {
+				Min: 150, Max: 2600,
+				Incr: easig.Rate{Min: 1, Max: 12},
+				Decr: easig.Rate{Min: 0, Max: 1}, // allow sensor jitter
+			},
+			modeSoak: {
+				Min: 2350, Max: 2550,
+				Incr: easig.Rate{Min: 0, Max: 4},
+				Decr: easig.Rate{Min: 0, Max: 4},
+			},
+			modeCool: {
+				Min: 150, Max: 2600,
+				Incr: easig.Rate{Min: 0, Max: 1},
+				Decr: easig.Rate{Min: 1, Max: 15},
+			},
+		},
+		easig.WithInitialMode(modeRamp),
+		easig.WithSink(easig.SinkFunc(func(v easig.Violation) {
+			fmt.Printf("  !! oven_temp: %v (mode %s)\n", v, modeName[v.Mode])
+		})),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// The mode variable is itself a monitored discrete signal: the
+	// process must go ramp -> soak -> cool (no stay restriction, the
+	// controller may hold a mode across samples).
+	mode, err := easig.NewDiscreteMonitor(
+		"oven_mode",
+		easig.DiscreteSequentialLinear,
+		easig.NewLinear([]int64{modeRamp, modeSoak, modeCool}, false, true),
+		easig.WithSink(easig.SinkFunc(func(v easig.Violation) {
+			fmt.Printf("  !! oven_mode: %v\n", v)
+		})),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	type step struct {
+		mode int
+		temp int64
+	}
+	profile := []step{
+		{modeRamp, 2350}, {modeRamp, 2359}, {modeRamp, 2368}, {modeRamp, 2379},
+		{modeRamp, 3403}, // a corrupted sample: bit flip far past the ramp rate
+		{modeRamp, 2388}, {modeRamp, 2396},
+		{modeSoak, 2399}, // mode switch: constraints swap to the soak band
+		{modeSoak, 2401}, {modeSoak, 2398},
+		{modeSoak, 2309}, // drooped below the soak band: detected
+		{modeSoak, 2402},
+		{modeCool, 2390}, {modeCool, 2381},
+		{modeRamp, 2375}, // illegal mode regression cool -> ramp: detected
+		{modeCool, 2369},
+	}
+
+	for t, st := range profile {
+		now := int64(t) * 500
+		accepted, _ := mode.Test(now, int64(st.mode))
+		if err := temp.SetMode(int(accepted)); err != nil {
+			panic(err)
+		}
+		tempAccepted, violation := temp.Test(now, st.temp)
+		status := "ok"
+		if violation != nil {
+			status = fmt.Sprintf("rejected -> %d", tempAccepted)
+		}
+		fmt.Printf("t=%5dms mode=%-4s temp=%4d  %s\n", now, modeName[accepted], st.temp, status)
+	}
+	fmt.Printf("\ndone: temp %d/%d tests/violations, mode %d/%d\n",
+		temp.Tests(), temp.Violations(), mode.Tests(), mode.Violations())
+}

@@ -1,0 +1,61 @@
+// Quickstart: monitor a continuous sensor signal with an executable
+// assertion and catch an injected data error.
+//
+// A coolant-temperature signal (tenths of °C) is classified as random
+// continuous (paper Figure 1): it may rise or fall between samples,
+// bounded by the sensor's physics. The monitor is instantiated with
+// the parameter set Pcont = {smin, smax, rate limits}; a bit-flip in
+// the stored value then violates the constraints and is reported.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"easig"
+)
+
+func main() {
+	// A coolant sensor reads -40.0..+125.0 °C and, with the thermal
+	// mass involved, cannot move faster than 0.8 °C per 100 ms sample.
+	monitor, err := easig.NewContinuousMonitor(
+		"coolant_temp",
+		easig.ContinuousRandom,
+		easig.Continuous{
+			Min:  -400, // -40.0 °C
+			Max:  1250, // +125.0 °C
+			Incr: easig.Rate{Min: 0, Max: 8},
+			Decr: easig.Rate{Min: 0, Max: 8},
+		},
+		easig.WithRecovery(easig.PreviousValue{}),
+		easig.WithSink(easig.SinkFunc(func(v easig.Violation) {
+			fmt.Printf("  !! detected: %v\n", v)
+		})),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	temp := int64(820) // 82.0 °C operating temperature
+	fmt.Println("sampling coolant temperature (100 ms period)...")
+	for t := int64(0); t < 50; t++ {
+		// Plant: the temperature wanders slowly.
+		temp += rng.Int63n(7) - 3
+
+		sample := temp
+		if t == 25 {
+			// A cosmic-ray bit flip hits bit 9 of the stored sample.
+			sample ^= 1 << 9
+			fmt.Printf("t=%4dms: injecting bit-flip: %d -> %d\n", t*100, temp, sample)
+		}
+
+		accepted, violation := monitor.Test(t*100, sample)
+		if violation != nil {
+			fmt.Printf("t=%4dms: sample %d rejected, recovered to %d\n", t*100, sample, accepted)
+		}
+	}
+	fmt.Printf("done: %d tests, %d violations\n", monitor.Tests(), monitor.Violations())
+}

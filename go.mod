@@ -1,0 +1,3 @@
+module easig
+
+go 1.22

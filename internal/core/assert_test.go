@@ -1,0 +1,165 @@
+package core
+
+import "testing"
+
+// TestCheckContinuousTable2 walks every row of the paper's Table 2.
+func TestCheckContinuousTable2(t *testing.T) {
+	random := Continuous{Min: 0, Max: 100, Incr: Rate{0, 10}, Decr: Rate{0, 10}}
+	staticUp := Continuous{Min: 0, Max: 100, Incr: Rate{4, 4}, Wrap: true}
+	staticDown := Continuous{Min: 0, Max: 100, Decr: Rate{4, 4}, Wrap: true}
+	dynUp := Continuous{Min: 0, Max: 100, Incr: Rate{0, 10}}
+	dynDown := Continuous{Min: 0, Max: 100, Decr: Rate{0, 10}}
+	strictRandom := Continuous{Min: 0, Max: 100, Incr: Rate{1, 10}, Decr: Rate{1, 10}}
+	minRandom := Continuous{Min: 0, Max: 100, Incr: Rate{2, 10}, Decr: Rate{0, 10}}
+
+	tests := []struct {
+		name    string
+		p       Continuous
+		prev, s int64
+		wantID  TestID
+		ok      bool
+	}{
+		// Test 1: s <= smax.
+		{"test1 above max", random, 50, 101, TestMax, false},
+		{"test1 at max", random, 95, 100, 0, true},
+		// Test 2: s >= smin.
+		{"test2 below min", random, 5, -1, TestMin, false},
+		{"test2 at min", random, 5, 0, 0, true},
+		// Test 3a: within increase parameters.
+		{"test3a legal increase", random, 50, 60, 0, true},
+		{"test3a too fast", random, 50, 61, TestIncrease, false},
+		{"test3a too slow for strict min", strictRandom, 50, 50, TestUnchanged, false},
+		// Test 4a: apparent increase is a wrap-around decrease.
+		// staticDown decreases by exactly 4; from 2 it wraps to 98:
+		// (prev-smin)+(smax-s) = 2 + 2 = 4.
+		{"test4a wrap decrease exact", staticDown, 2, 98, 0, true},
+		{"test4a wrap decrease wrong magnitude", staticDown, 2, 97, TestIncrease, false},
+		{"test4a wrap not allowed", dynDown, 2, 98, TestIncrease, false},
+		// Test 3b: within decrease parameters.
+		{"test3b legal decrease", random, 60, 50, 0, true},
+		{"test3b too fast", random, 61, 50, TestDecrease, false},
+		// Test 4b: apparent decrease is a wrap-around increase.
+		// staticUp increases by exactly 4; from 98 it wraps to 2:
+		// (smax-prev)+(s-smin) = 2 + 2 = 4.
+		{"test4b wrap increase exact", staticUp, 98, 2, 0, true},
+		{"test4b wrap increase wrong magnitude", staticUp, 98, 3, TestDecrease, false},
+		{"test4b wrap not allowed", dynUp, 98, 2, TestDecrease, false},
+		// Test 3c: monotonically decreasing signal may stay put when
+		// rmin,decr = 0.
+		{"test3c dynamic decreasing stays", dynDown, 50, 50, 0, true},
+		// Test 4c: monotonically increasing signal may stay put when
+		// rmin,incr = 0.
+		{"test4c dynamic increasing stays", dynUp, 50, 50, 0, true},
+		{"static increasing must move", staticUp, 50, 50, TestUnchanged, false},
+		{"static decreasing must move", staticDown, 50, 50, TestUnchanged, false},
+		// Test 5c: random signal with at least one zero-change
+		// direction may stay put.
+		{"test5c random stays", random, 50, 50, 0, true},
+		{"test5c one-sided zero min", minRandom, 50, 50, 0, true},
+		{"test5c strict random must move", strictRandom, 50, 50, TestUnchanged, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			id, ok := CheckContinuous(tt.p, tt.prev, tt.s)
+			if ok != tt.ok || id != tt.wantID {
+				t.Fatalf("CheckContinuous(%v, %d, %d) = (%v, %v), want (%v, %v)",
+					tt.p, tt.prev, tt.s, id, ok, tt.wantID, tt.ok)
+			}
+		})
+	}
+}
+
+// The bounds tests always run first: an out-of-domain value must be
+// reported as a bounds violation even if a rate test would also fail.
+func TestCheckContinuousBoundsFirst(t *testing.T) {
+	p := Continuous{Min: 0, Max: 100, Incr: Rate{0, 1}, Decr: Rate{0, 1}}
+	id, ok := CheckContinuous(p, 50, 200)
+	if ok || id != TestMax {
+		t.Fatalf("got (%v, %v), want (TestMax, false)", id, ok)
+	}
+	id, ok = CheckContinuous(p, 50, -200)
+	if ok || id != TestMin {
+		t.Fatalf("got (%v, %v), want (TestMin, false)", id, ok)
+	}
+}
+
+// A static counter with wrap-around (the target's mscnt pattern):
+// stepping by exactly one with smax equal to the modulus never
+// violates, for any number of wraps.
+func TestCheckContinuousCounterWrap(t *testing.T) {
+	const modulus = 97
+	p := Continuous{Min: 0, Max: modulus, Incr: Rate{1, 1}, Wrap: true}
+	prev := int64(0)
+	for i := 0; i < 3*modulus; i++ {
+		next := prev + 1
+		if next == modulus {
+			next = 0
+		}
+		if id, ok := CheckContinuous(p, prev, next); !ok {
+			t.Fatalf("step %d -> %d flagged %v", prev, next, id)
+		}
+		prev = next
+	}
+}
+
+func TestCheckBounds(t *testing.T) {
+	p := Continuous{Min: -5, Max: 5}
+	for _, tt := range []struct {
+		s      int64
+		wantID TestID
+		ok     bool
+	}{{-6, TestMin, false}, {-5, 0, true}, {0, 0, true}, {5, 0, true}, {6, TestMax, false}} {
+		id, ok := CheckBounds(p, tt.s)
+		if ok != tt.ok || id != tt.wantID {
+			t.Errorf("CheckBounds(%d) = (%v, %v), want (%v, %v)", tt.s, id, ok, tt.wantID, tt.ok)
+		}
+	}
+}
+
+// Table 3 of the paper: discrete assertions.
+func TestCheckDiscreteTable3(t *testing.T) {
+	// The paper's Figure 3 state machine.
+	p := Discrete{
+		Domain: []int64{1, 2, 3, 4, 5},
+		Trans: map[int64][]int64{
+			1: {2, 4}, 2: {3, 4}, 3: {4}, 4: {5}, 5: {1},
+		},
+	}
+	tests := []struct {
+		name       string
+		sequential bool
+		prev, s    int64
+		wantID     TestID
+		ok         bool
+	}{
+		{"random in domain", false, 1, 5, 0, true},
+		{"random out of domain", false, 1, 6, TestDomain, false},
+		{"random ignores transitions", false, 5, 3, 0, true},
+		{"sequential legal", true, 1, 4, 0, true},
+		{"sequential legal 2", true, 4, 5, 0, true},
+		{"sequential illegal transition", true, 5, 3, TestTransition, false},
+		{"sequential self loop illegal", true, 2, 2, TestTransition, false},
+		{"sequential out of domain", true, 1, 34, TestDomain, false},
+		{"sequential from unknown prev", true, 99, 1, TestTransition, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := p // fresh copy so lazy indexes rebuild per case
+			id, ok := CheckDiscrete(&q, tt.sequential, tt.prev, tt.s)
+			if ok != tt.ok || id != tt.wantID {
+				t.Fatalf("CheckDiscrete(seq=%v, %d, %d) = (%v, %v), want (%v, %v)",
+					tt.sequential, tt.prev, tt.s, id, ok, tt.wantID, tt.ok)
+			}
+		})
+	}
+}
+
+// The domain test fires before the transition test, as in the paper
+// ("both tests are used nonetheless").
+func TestCheckDiscreteDomainFirst(t *testing.T) {
+	p := NewLinear([]int64{0, 1, 2}, true, false)
+	id, ok := CheckDiscrete(&p, true, 0, 7)
+	if ok || id != TestDomain {
+		t.Fatalf("got (%v, %v), want (TestDomain, false)", id, ok)
+	}
+}

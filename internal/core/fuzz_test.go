@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+// Native fuzz targets. `go test` runs the seed corpus as regular unit
+// tests; `go test -fuzz=FuzzCheckContinuous ./internal/core` explores
+// further.
+
+// FuzzCheckContinuous asserts engine totality and internal
+// consistency for arbitrary parameter sets and values: no panic, a
+// coherent (TestID, ok) pair, out-of-bounds always rejected, and
+// purity.
+func FuzzCheckContinuous(f *testing.F) {
+	f.Add(int64(0), int64(100), int64(0), int64(5), int64(0), int64(5), true, int64(50), int64(53))
+	f.Add(int64(0), int64(60000), int64(1), int64(1), int64(0), int64(0), true, int64(59999), int64(0))
+	f.Add(int64(-10), int64(10), int64(0), int64(0), int64(2), int64(2), false, int64(5), int64(3))
+	f.Fuzz(func(t *testing.T, min, max, im, ix, dm, dx int64, wrap bool, prev, s int64) {
+		p := Continuous{
+			Min:  min,
+			Max:  max,
+			Incr: Rate{Min: im, Max: ix},
+			Decr: Rate{Min: dm, Max: dx},
+			Wrap: wrap,
+		}
+		id1, ok1 := CheckContinuous(p, prev, s)
+		id2, ok2 := CheckContinuous(p, prev, s)
+		if id1 != id2 || ok1 != ok2 {
+			t.Fatal("CheckContinuous is not pure")
+		}
+		if ok1 && id1 != 0 {
+			t.Fatalf("pass with TestID %v", id1)
+		}
+		if !ok1 && id1 == 0 {
+			t.Fatal("fail without TestID")
+		}
+		if s > p.Max && (ok1 || id1 != TestMax) {
+			t.Fatalf("s=%d above max=%d not rejected as TestMax (%v, %v)", s, p.Max, id1, ok1)
+		}
+		if s <= p.Max && s < p.Min && (ok1 || id1 != TestMin) {
+			t.Fatalf("s=%d below min=%d not rejected as TestMin (%v, %v)", s, p.Min, id1, ok1)
+		}
+	})
+}
+
+// FuzzMonitor exercises the stateful path: arbitrary observation
+// sequences never panic, and the monitor's accounting stays coherent.
+func FuzzMonitor(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 4}, int64(10), int64(90))
+	f.Add([]byte{}, int64(0), int64(1))
+	f.Fuzz(func(t *testing.T, samples []byte, lo, hi int64) {
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m, err := NewContinuousSingle("fuzz", ContinuousRandom, Continuous{
+			Min:  lo,
+			Max:  hi,
+			Incr: Rate{Min: 0, Max: 7},
+			Decr: Rate{Min: 0, Max: 7},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var violations uint64
+		for i, b := range samples {
+			_, v := m.Test(int64(i), lo+int64(b))
+			if v != nil {
+				violations++
+			}
+		}
+		if m.Tests() != uint64(len(samples)) || m.Violations() != violations {
+			t.Fatalf("accounting: tests %d/%d violations %d/%d",
+				m.Tests(), len(samples), m.Violations(), violations)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// ModeLink wires a mode variable to the monitors whose constraints
+// depend on it (paper §2.1: "Modes may also be used to model certain
+// dependencies between signals. That is, if the behaviour of signal A
+// is limited due to the operational mode of signal B, these two
+// signals can be grouped by means of signal modes").
+//
+// The mode variable is itself a monitored discrete signal ("mode
+// variables can be classified as discrete signals in themselves"): an
+// observation first passes through the mode monitor's assertions, and
+// only the accepted — possibly recovered — mode value is propagated to
+// the dependent monitors via SetMode. A corrupted mode variable
+// therefore cannot silently switch the dependents onto the wrong
+// parameter sets.
+type ModeLink struct {
+	mode       *Monitor
+	dependents []*Monitor
+}
+
+// NewModeLink builds a link from the mode-variable monitor to its
+// dependents. The mode monitor must be discrete; every dependent must
+// accept each value of the mode monitor's domain as a mode (checked on
+// first propagation, since domains are per-mode).
+func NewModeLink(mode *Monitor, dependents ...*Monitor) (*ModeLink, error) {
+	if mode == nil {
+		return nil, fmt.Errorf("core: nil mode monitor")
+	}
+	if !mode.Class().IsDiscrete() {
+		return nil, fmt.Errorf("core: mode monitor %q is %v, want a discrete class", mode.Name(), mode.Class())
+	}
+	if len(dependents) == 0 {
+		return nil, fmt.Errorf("core: mode link needs at least one dependent")
+	}
+	for _, d := range dependents {
+		if d == nil {
+			return nil, fmt.Errorf("core: nil dependent monitor")
+		}
+	}
+	return &ModeLink{mode: mode, dependents: dependents}, nil
+}
+
+// Observe tests the mode variable and switches every dependent to the
+// accepted mode. It returns the accepted mode value, the mode
+// violation (if any), and an error when a dependent has no parameter
+// set for the accepted mode.
+func (l *ModeLink) Observe(now, modeValue int64) (int64, *Violation, error) {
+	accepted, violation := l.mode.Test(now, modeValue)
+	for _, d := range l.dependents {
+		if err := d.SetMode(int(accepted)); err != nil {
+			return accepted, violation, fmt.Errorf("core: mode link: %w", err)
+		}
+	}
+	return accepted, violation, nil
+}
+
+// Mode returns the mode-variable monitor.
+func (l *ModeLink) Mode() *Monitor { return l.mode }
+
+// Dependents returns the dependent monitors.
+func (l *ModeLink) Dependents() []*Monitor {
+	return append([]*Monitor(nil), l.dependents...)
+}

@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+func newModeLinked(t *testing.T) (*ModeLink, *Monitor) {
+	t.Helper()
+	modeMon, err := NewDiscreteSingle("op_mode", DiscreteSequentialLinear,
+		NewLinear([]int64{0, 1}, false, true),
+		WithRecovery(PreviousValue{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewContinuous("flow", ContinuousRandom, map[int]Continuous{
+		0: {Min: 0, Max: 10, Incr: Rate{0, 2}, Decr: Rate{0, 2}},
+		1: {Min: 0, Max: 100, Incr: Rate{0, 50}, Decr: Rate{0, 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := NewModeLink(modeMon, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link, dep
+}
+
+func TestModeLinkPropagates(t *testing.T) {
+	link, dep := newModeLinked(t)
+	if _, v, err := link.Observe(0, 0); v != nil || err != nil {
+		t.Fatalf("mode 0: v=%v err=%v", v, err)
+	}
+	if dep.Mode() != 0 {
+		t.Fatalf("dependent mode = %d", dep.Mode())
+	}
+	if _, v, err := link.Observe(1, 1); v != nil || err != nil {
+		t.Fatalf("mode 1: v=%v err=%v", v, err)
+	}
+	if dep.Mode() != 1 {
+		t.Fatalf("dependent mode = %d after switch", dep.Mode())
+	}
+	// In mode 1 the wide constraints apply.
+	dep.Prime(10)
+	if _, v := dep.Test(2, 50); v != nil {
+		t.Fatalf("wide-mode sample flagged: %v", v)
+	}
+}
+
+func TestModeLinkProtectsAgainstCorruptMode(t *testing.T) {
+	link, dep := newModeLinked(t)
+	link.Observe(0, 0)
+	// A corrupted mode value (out of domain) is rejected; the
+	// dependents stay on the recovered mode instead of switching to a
+	// parameter set that does not exist.
+	accepted, v, err := link.Observe(1, 77)
+	if err != nil {
+		t.Fatalf("corrupt mode propagated an error: %v", err)
+	}
+	if v == nil || v.Test != TestDomain {
+		t.Fatalf("corrupt mode not flagged: %v", v)
+	}
+	if accepted != 0 || dep.Mode() != 0 {
+		t.Fatalf("dependents switched to %d (accepted %d)", dep.Mode(), accepted)
+	}
+}
+
+func TestModeLinkConstruction(t *testing.T) {
+	mode, _ := NewDiscreteSingle("m", DiscreteRandom, NewRandom([]int64{0, 1}))
+	cont, _ := NewContinuousSingle("c", ContinuousRandom,
+		Continuous{Min: 0, Max: 1, Incr: Rate{0, 1}, Decr: Rate{0, 1}})
+	if _, err := NewModeLink(nil, cont); err == nil {
+		t.Error("nil mode accepted")
+	}
+	if _, err := NewModeLink(cont, mode); err == nil {
+		t.Error("continuous mode monitor accepted")
+	}
+	if _, err := NewModeLink(mode); err == nil {
+		t.Error("no dependents accepted")
+	}
+	if _, err := NewModeLink(mode, nil); err == nil {
+		t.Error("nil dependent accepted")
+	}
+	link, err := NewModeLink(mode, cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Mode() != mode || len(link.Dependents()) != 1 {
+		t.Error("accessors broken")
+	}
+	// The dependent has no parameter set for mode 1: Observe reports
+	// the wiring error.
+	if _, _, err := link.Observe(0, 1); err == nil {
+		t.Error("missing dependent mode not reported")
+	}
+}

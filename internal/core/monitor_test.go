@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustContinuousMonitor(t *testing.T, p Continuous, opts ...MonitorOption) *Monitor {
+	t.Helper()
+	m, err := NewContinuousSingle("sig", ContinuousRandom, p, opts...)
+	if err != nil {
+		t.Fatalf("NewContinuousSingle: %v", err)
+	}
+	return m
+}
+
+func TestMonitorFirstObservationBoundsOnly(t *testing.T) {
+	p := Continuous{Min: 0, Max: 100, Incr: Rate{0, 1}, Decr: Rate{0, 1}}
+	m := mustContinuousMonitor(t, p)
+	// A huge first value is fine as long as it is within bounds: there
+	// is no s' yet, so no rate test runs.
+	if _, v := m.Test(0, 99); v != nil {
+		t.Fatalf("first in-bounds observation flagged: %v", v)
+	}
+	// Now the rate tests are armed.
+	if _, v := m.Test(1, 50); v == nil {
+		t.Fatal("49-unit drop with rate limit 1 not flagged")
+	}
+}
+
+func TestMonitorFirstObservationOutOfBounds(t *testing.T) {
+	p := Continuous{Min: 10, Max: 100, Incr: Rate{0, 5}, Decr: Rate{0, 5}}
+	m := mustContinuousMonitor(t, p)
+	accepted, v := m.Test(0, 200)
+	if v == nil || v.Test != TestMax {
+		t.Fatalf("violation = %v, want TestMax", v)
+	}
+	if v.HasPrev {
+		t.Error("first observation must report HasPrev=false")
+	}
+	// Default recovery is PreviousValue, which clamps on an unprimed
+	// monitor.
+	if accepted != 100 {
+		t.Errorf("accepted = %d, want clamp to 100", accepted)
+	}
+}
+
+func TestMonitorRecoveryWriteback(t *testing.T) {
+	p := Continuous{Min: 0, Max: 100, Incr: Rate{0, 10}, Decr: Rate{0, 10}}
+	m := mustContinuousMonitor(t, p, WithRecovery(PreviousValue{}))
+	m.Test(0, 50)
+	accepted, v := m.Test(1, 90)
+	if v == nil {
+		t.Fatal("jump of 40 with rate 10 not flagged")
+	}
+	if accepted != 50 {
+		t.Fatalf("accepted = %d, want previous value 50", accepted)
+	}
+	// The recovered value became the new s': a legal step from 50
+	// passes.
+	if _, v := m.Test(2, 55); v != nil {
+		t.Fatalf("step from recovered value flagged: %v", v)
+	}
+}
+
+func TestMonitorNoRecoveryKeepsValue(t *testing.T) {
+	p := Continuous{Min: 0, Max: 100, Incr: Rate{0, 10}, Decr: Rate{0, 10}}
+	m := mustContinuousMonitor(t, p, WithRecovery(NoRecovery{}))
+	m.Test(0, 50)
+	accepted, v := m.Test(1, 90)
+	if v == nil || accepted != 90 {
+		t.Fatalf("accepted = %d (violation %v), want offending value 90 kept", accepted, v)
+	}
+	// The offending value is now the baseline: the same value again is
+	// a legal zero change.
+	if _, v := m.Test(2, 90); v != nil {
+		t.Fatalf("repeat of kept value flagged: %v", v)
+	}
+}
+
+func TestMonitorSink(t *testing.T) {
+	p := Continuous{Min: 0, Max: 10, Incr: Rate{0, 1}, Decr: Rate{0, 1}}
+	rec := &Recorder{}
+	m := mustContinuousMonitor(t, p, WithSink(rec))
+	m.Test(5, 3)
+	m.Test(6, 99)
+	m.Test(7, 3)
+	if rec.Count() != 1 {
+		t.Fatalf("recorder has %d violations, want 1", rec.Count())
+	}
+	first, ok := rec.FirstTime()
+	if !ok || first != 6 {
+		t.Errorf("first detection time = %d (%v), want 6", first, ok)
+	}
+	got := rec.Violations()[0]
+	if got.Signal != "sig" || got.Test != TestMax || got.Value != 99 || got.Prev != 3 || !got.HasPrev {
+		t.Errorf("violation = %+v", got)
+	}
+}
+
+func TestMonitorModes(t *testing.T) {
+	modes := map[int]Continuous{
+		0: {Min: 0, Max: 10, Incr: Rate{0, 2}, Decr: Rate{0, 2}},
+		1: {Min: 0, Max: 100, Incr: Rate{0, 50}, Decr: Rate{0, 50}},
+	}
+	m, err := NewContinuous("sig", ContinuousRandom, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Test(0, 5)
+	if _, v := m.Test(1, 9); v == nil {
+		t.Fatal("mode 0: jump of 4 with rate 2 not flagged")
+	}
+	if err := m.SetMode(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode() != 1 {
+		t.Fatalf("Mode() = %d, want 1", m.Mode())
+	}
+	if _, v := m.Test(2, 40); v != nil {
+		t.Fatalf("mode 1: jump of 35 with rate 50 flagged: %v", v)
+	}
+	if err := m.SetMode(7); !errors.Is(err, ErrUnknownMode) {
+		t.Fatalf("SetMode(7) = %v, want ErrUnknownMode", err)
+	}
+}
+
+func TestMonitorConstructorErrors(t *testing.T) {
+	if _, err := NewContinuous("s", ContinuousRandom, nil); !errors.Is(err, ErrNoModes) {
+		t.Errorf("empty modes: %v, want ErrNoModes", err)
+	}
+	bad := map[int]Continuous{0: {Min: 5, Max: 5}}
+	if _, err := NewContinuous("s", ContinuousRandom, bad); !errors.Is(err, ErrBadBounds) {
+		t.Errorf("invalid params: %v, want ErrBadBounds", err)
+	}
+	good := map[int]Continuous{2: {Min: 0, Max: 10, Incr: Rate{0, 1}, Decr: Rate{0, 1}}}
+	if _, err := NewContinuous("s", ContinuousRandom, good); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("initial mode 0 missing: %v, want ErrUnknownMode", err)
+	}
+	if _, err := NewContinuous("s", ContinuousRandom, good, WithInitialMode(2)); err != nil {
+		t.Errorf("explicit initial mode: %v", err)
+	}
+	if _, err := NewDiscrete("s", DiscreteRandom, map[int]*Discrete{0: nil}); err == nil {
+		t.Error("nil discrete parameter set accepted")
+	}
+	if _, err := NewDiscrete("s", DiscreteRandom, nil); !errors.Is(err, ErrNoModes) {
+		t.Errorf("empty discrete modes: %v, want ErrNoModes", err)
+	}
+}
+
+func TestMonitorDiscrete(t *testing.T) {
+	p := NewLinear([]int64{0, 1, 2}, true, false)
+	m, err := NewDiscreteSingle("slot", DiscreteSequentialLinear, p, WithRecovery(PreviousValue{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First observation: domain only.
+	if _, v := m.Test(0, 2); v != nil {
+		t.Fatalf("first in-domain observation flagged: %v", v)
+	}
+	if _, v := m.Test(1, 0); v != nil {
+		t.Fatalf("legal cyclic transition flagged: %v", v)
+	}
+	if _, v := m.Test(2, 2); v == nil || v.Test != TestTransition {
+		t.Fatalf("illegal transition 0->2: %v", v)
+	}
+	if _, v := m.Test(3, 9); v == nil || v.Test != TestDomain {
+		t.Fatalf("out of domain: %v", v)
+	}
+}
+
+func TestMonitorResetAndPrime(t *testing.T) {
+	p := Continuous{Min: 0, Max: 100, Incr: Rate{0, 1}, Decr: Rate{0, 1}}
+	m := mustContinuousMonitor(t, p)
+	m.Test(0, 10)
+	m.Reset()
+	// After reset the next observation is a first observation again.
+	if _, v := m.Test(1, 90); v != nil {
+		t.Fatalf("post-reset first observation flagged: %v", v)
+	}
+	m.Reset()
+	m.Prime(50)
+	if _, v := m.Test(2, 52); v == nil {
+		t.Fatal("primed monitor must run rate tests (jump of 2, limit 1)")
+	}
+}
+
+func TestMonitorCounters(t *testing.T) {
+	p := Continuous{Min: 0, Max: 10, Incr: Rate{0, 1}, Decr: Rate{0, 1}}
+	m := mustContinuousMonitor(t, p)
+	m.Test(0, 1)
+	m.Test(1, 99)
+	m.Test(2, 2)
+	if m.Tests() != 3 || m.Violations() != 1 {
+		t.Errorf("counters = (%d, %d), want (3, 1)", m.Tests(), m.Violations())
+	}
+	if m.Name() != "sig" || m.Class() != ContinuousRandom {
+		t.Errorf("identity = (%q, %v)", m.Name(), m.Class())
+	}
+}
+
+// customStore is a PrevStore with externally visible state.
+type customStore struct{ v int64 }
+
+func (s *customStore) LoadPrev() int64   { return s.v }
+func (s *customStore) StorePrev(x int64) { s.v = x }
+
+func TestMonitorPrevStore(t *testing.T) {
+	p := Continuous{Min: 0, Max: 100, Incr: Rate{0, 5}, Decr: Rate{0, 5}}
+	store := &customStore{}
+	m := mustContinuousMonitor(t, p, WithPrevStore(store))
+	m.Test(0, 42)
+	if store.v != 42 {
+		t.Fatalf("store holds %d, want 42", store.v)
+	}
+	// Corrupting the external store changes what the monitor compares
+	// against — the mechanism the target uses to keep s' in injectable
+	// RAM.
+	store.v = 90
+	if _, v := m.Test(1, 44); v == nil {
+		t.Fatal("jump from corrupted s'=90 to 44 not flagged")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b int
+	s := MultiSink(
+		SinkFunc(func(Violation) { a++ }),
+		nil,
+		SinkFunc(func(Violation) { b++ }),
+	)
+	s.Detect(Violation{})
+	if a != 1 || b != 1 {
+		t.Errorf("fan-out counts = (%d, %d), want (1, 1)", a, b)
+	}
+	if MultiSink() != nil {
+		t.Error("MultiSink() of nothing should be nil")
+	}
+	if MultiSink(nil, nil) != nil {
+		t.Error("MultiSink(nil, nil) should be nil")
+	}
+	one := SinkFunc(func(Violation) {})
+	if got := MultiSink(nil, one); got == nil {
+		t.Error("MultiSink with one sink should not be nil")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := &Recorder{}
+	r.Detect(Violation{Time: 5})
+	r.Reset()
+	if r.Detected() || r.Count() != 0 {
+		t.Error("Reset did not clear the recorder")
+	}
+	if _, ok := r.FirstTime(); ok {
+		t.Error("FirstTime after Reset should report no detection")
+	}
+}

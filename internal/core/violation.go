@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// TestID identifies which assertion of the paper's Table 2 or Table 3
+// a signal failed. For continuous signals the identifiers follow the
+// paper's "Test No." column; a failed status-dependent group (3a/4a,
+// 3b/4b or 3c/4c/5c) is reported as the group for the observed signal
+// status, because the groups are alternatives: the test passes if any
+// member of the applicable group holds.
+type TestID int
+
+const (
+	// TestMax is Table 2 test no. 1: s <= smax.
+	TestMax TestID = iota + 1
+	// TestMin is Table 2 test no. 2: s >= smin.
+	TestMin
+	// TestIncrease is the s > s' group (tests 3a/4a): the increase was
+	// outside the increase-rate parameters and was not a legal
+	// wrap-around decrease.
+	TestIncrease
+	// TestDecrease is the s < s' group (tests 3b/4b): the decrease was
+	// outside the decrease-rate parameters and was not a legal
+	// wrap-around increase.
+	TestDecrease
+	// TestUnchanged is the s = s' group (tests 3c/4c/5c): the signal
+	// remained unchanged although its class requires it to change.
+	TestUnchanged
+	// TestDomain is Table 3: s is not an element of the valid domain D.
+	TestDomain
+	// TestTransition is Table 3 for sequential signals: s is not an
+	// element of T(s'), the valid transitions from the previous value.
+	TestTransition
+)
+
+// String returns a short human-readable name for the failed test.
+func (t TestID) String() string {
+	switch t {
+	case TestMax:
+		return "max-value"
+	case TestMin:
+		return "min-value"
+	case TestIncrease:
+		return "increase-rate"
+	case TestDecrease:
+		return "decrease-rate"
+	case TestUnchanged:
+		return "unchanged"
+	case TestDomain:
+		return "domain"
+	case TestTransition:
+		return "transition"
+	default:
+		return fmt.Sprintf("TestID(%d)", int(t))
+	}
+}
+
+// Violation describes a failed executable assertion: an error was
+// detected in the monitored signal. A violation is a value, not a Go
+// error: detecting data errors is the normal operation of the
+// mechanisms, not a fault of the library.
+type Violation struct {
+	// Signal is the name of the monitored signal.
+	Signal string
+	// Test identifies the failed assertion.
+	Test TestID
+	// Value is the offending current value s.
+	Value int64
+	// Prev is the previous value s' (meaningful only for rate and
+	// transition tests; 0 on an unprimed first observation).
+	Prev int64
+	// HasPrev reports whether Prev is meaningful (the monitor had been
+	// primed with at least one accepted value).
+	HasPrev bool
+	// Mode is the signal mode whose parameter set was violated.
+	Mode int
+	// Time is the caller-supplied timestamp of the test (the target
+	// system uses milliseconds of simulated time).
+	Time int64
+}
+
+// String renders the violation for logs and test output.
+func (v Violation) String() string {
+	if v.HasPrev {
+		return fmt.Sprintf("%s: %s violated (s=%d, s'=%d, mode=%d, t=%d)",
+			v.Signal, v.Test, v.Value, v.Prev, v.Mode, v.Time)
+	}
+	return fmt.Sprintf("%s: %s violated (s=%d, mode=%d, t=%d)",
+		v.Signal, v.Test, v.Value, v.Mode, v.Time)
+}

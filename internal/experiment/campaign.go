@@ -1,0 +1,316 @@
+// Package experiment reproduces the paper's evaluation: the E1 and E2
+// error-injection campaigns (§3.4), the coverage and latency tables
+// (Tables 6-9) and the Figure 2 example traces. Campaigns are
+// deterministic functions of their seed and run in parallel across a
+// worker pool.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"easig/internal/core"
+	"easig/internal/inject"
+	"easig/internal/physics"
+	"easig/internal/stats"
+	"easig/internal/target"
+)
+
+// Config parameterises a campaign. The zero value runs the paper's
+// full protocol; tests scale Grid and Errors down.
+type Config struct {
+	// Grid is the test-case grid edge: Grid*Grid <mass, velocity>
+	// cases (default 5, the paper's 25 test cases).
+	Grid int
+	// ObservationMs is the per-run observation window (default the
+	// paper's 40 s).
+	ObservationMs int64
+	// Policy is the injection schedule (default 20 ms period).
+	Policy inject.Policy
+	// Seed derives all per-run seeds and the E2 error sample.
+	Seed int64
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+	// Recovery overrides the assertion recovery policy (default
+	// detection-only, core.NoRecovery; see inject.RunConfig).
+	Recovery core.RecoveryPolicy
+	// E2 sizes the random error set (default 150 RAM + 50 stack).
+	E2 inject.E2Spec
+	// Versions lists the software versions exercised by E1 (default
+	// the paper's eight: EA1..EA7 and All).
+	Versions []target.Version
+	// Placement selects consumer-side (paper) or producer-side
+	// assertion execution (ablation).
+	Placement target.Placement
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grid <= 0 {
+		c.Grid = 5
+	}
+	if c.ObservationMs <= 0 {
+		c.ObservationMs = inject.DefaultObservationMs
+	}
+	if c.Policy.PeriodMs <= 0 {
+		c.Policy = inject.DefaultPolicy()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Recovery == nil {
+		c.Recovery = core.NoRecovery{}
+	}
+	if c.E2.RAM == 0 && c.E2.Stack == 0 {
+		c.E2 = inject.DefaultE2Spec()
+	}
+	if len(c.Versions) == 0 {
+		c.Versions = target.Versions()
+	}
+	return c
+}
+
+// runSeed derives a deterministic per-run seed from the campaign seed
+// and the run coordinates, using splitmix64 mixing.
+func runSeed(campaign int64, version target.Version, errIdx, caseIdx int) int64 {
+	x := uint64(campaign) ^ 0x9E3779B97F4A7C15
+	for _, v := range []uint64{uint64(int64(version)) + 1, uint64(errIdx) + 1, uint64(caseIdx) + 1} {
+		x += v * 0xBF58476D1CE4E5B9
+		x ^= x >> 30
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return int64(x & 0x7FFFFFFFFFFFFFFF)
+}
+
+// job is one run descriptor handed to the worker pool.
+type job struct {
+	version target.Version
+	errIdx  int
+	err     inject.Error
+	caseIdx int
+	tc      physics.TestCase
+}
+
+// outcome pairs a job with its run result.
+type outcome struct {
+	job job
+	res inject.RunResult
+}
+
+// runAll executes the jobs across the pool and streams outcomes to
+// collect (called from a single goroutine).
+func runAll(cfg Config, jobs []job, collect func(outcome)) error {
+	in := make(chan job)
+	out := make(chan outcome)
+	errCh := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for j := range in {
+				if failed {
+					continue // drain remaining jobs after a failure
+				}
+				e := j.err
+				res, err := inject.Run(inject.RunConfig{
+					TestCase:      j.tc,
+					Version:       j.version,
+					Error:         &e,
+					Policy:        cfg.Policy,
+					ObservationMs: cfg.ObservationMs,
+					Seed:          runSeed(cfg.Seed, j.version, j.errIdx, j.caseIdx),
+					Recovery:      cfg.Recovery,
+					Placement:     cfg.Placement,
+				})
+				if err != nil {
+					errCh <- err
+					failed = true
+					continue
+				}
+				out <- outcome{job: j, res: res}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	for o := range out {
+		collect(o)
+	}
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("experiment: run failed: %w", err)
+	default:
+		return nil
+	}
+}
+
+// E1Result aggregates the E1 campaign into the cells of the paper's
+// Tables 7 and 8: per (signal, version) coverage and latency, with
+// per-version totals.
+type E1Result struct {
+	// Versions lists the exercised versions in column order.
+	Versions []target.Version
+	// Coverage is indexed [signal][versionIdx].
+	Coverage [target.NumEAs][]stats.Coverage
+	// Latency is indexed [signal][versionIdx]; it aggregates all
+	// detected errors (failing and non-failing runs), as Table 8 does.
+	Latency [target.NumEAs][]stats.Latency
+	// ByTest is indexed [versionIdx] and counts violations per
+	// violated assertion kind (which Table 2/3 constraint fired),
+	// aggregated over all runs of that version.
+	ByTest []map[core.TestID]int
+	// Runs is the number of executed runs.
+	Runs int
+}
+
+// versionIndex returns the column of v in r.Versions.
+func (r *E1Result) versionIndex(v target.Version) int {
+	for i, x := range r.Versions {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalCoverage folds the per-signal coverage of one version column
+// into the Table 7 "Total" row.
+func (r *E1Result) TotalCoverage(versionIdx int) stats.Coverage {
+	var total stats.Coverage
+	for sig := 0; sig < target.NumEAs; sig++ {
+		total.Merge(r.Coverage[sig][versionIdx])
+	}
+	return total
+}
+
+// TotalLatency folds the per-signal latency of one version column into
+// the Table 8 "Total" row.
+func (r *E1Result) TotalLatency(versionIdx int) stats.Latency {
+	var total stats.Latency
+	for sig := 0; sig < target.NumEAs; sig++ {
+		total.Merge(r.Latency[sig][versionIdx])
+	}
+	return total
+}
+
+// RunE1 executes the E1 campaign: every error of Table 6 against every
+// test case of the grid, once per software version (the paper's
+// 2800 x 8 = 22 400 runs at full scale).
+func RunE1(cfg Config) (*E1Result, error) {
+	cfg = cfg.withDefaults()
+	errors := inject.BuildE1()
+	cases := physics.Grid(cfg.Grid)
+	res := &E1Result{Versions: cfg.Versions}
+	for sig := range res.Coverage {
+		res.Coverage[sig] = make([]stats.Coverage, len(cfg.Versions))
+		res.Latency[sig] = make([]stats.Latency, len(cfg.Versions))
+	}
+	res.ByTest = make([]map[core.TestID]int, len(cfg.Versions))
+	for i := range res.ByTest {
+		res.ByTest[i] = make(map[core.TestID]int)
+	}
+	var jobs []job
+	for _, v := range cfg.Versions {
+		for ei, e := range errors {
+			for ci, tc := range cases {
+				jobs = append(jobs, job{version: v, errIdx: ei, err: e, caseIdx: ci, tc: tc})
+			}
+		}
+	}
+	err := runAll(cfg, jobs, func(o outcome) {
+		vi := res.versionIndex(o.job.version)
+		sig := o.job.err.SignalIdx
+		res.Coverage[sig][vi].Add(o.res.Detected, o.res.Failed)
+		if o.res.Detected {
+			res.Latency[sig][vi].Add(o.res.LatencyMs)
+		}
+		for id, n := range o.res.ByTest {
+			res.ByTest[vi][id] += n
+		}
+		res.Runs++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// E2Result aggregates the E2 campaign into the paper's Table 9: RAM,
+// stack and total coverage, plus the two latency aggregates the table
+// reports (all detected errors, and detected errors of failing runs).
+type E2Result struct {
+	// Coverage maps region name ("ram", "stack") to its coverage.
+	Coverage map[string]*stats.Coverage
+	// LatencyAll maps region name to the latency over all detections.
+	LatencyAll map[string]*stats.Latency
+	// LatencyFail maps region name to the latency over detections in
+	// failing runs.
+	LatencyFail map[string]*stats.Latency
+	// Runs is the number of executed runs.
+	Runs int
+}
+
+// Total folds the regions into the Table 9 "Total" row.
+func (r *E2Result) Total() (stats.Coverage, stats.Latency, stats.Latency) {
+	var cov stats.Coverage
+	var lat, latFail stats.Latency
+	for _, c := range r.Coverage {
+		cov.Merge(*c)
+	}
+	for _, l := range r.LatencyAll {
+		lat.Merge(*l)
+	}
+	for _, l := range r.LatencyFail {
+		latFail.Merge(*l)
+	}
+	return cov, lat, latFail
+}
+
+// RunE2 executes the E2 campaign: the random error set against every
+// test case of the grid, on the All-assertions version (the paper's
+// 5000 runs at full scale).
+func RunE2(cfg Config) (*E2Result, error) {
+	cfg = cfg.withDefaults()
+	errors := inject.BuildE2(cfg.E2, cfg.Seed)
+	cases := physics.Grid(cfg.Grid)
+	res := &E2Result{
+		Coverage:    map[string]*stats.Coverage{},
+		LatencyAll:  map[string]*stats.Latency{},
+		LatencyFail: map[string]*stats.Latency{},
+	}
+	for _, region := range []string{target.RegionRAM, target.RegionStack} {
+		res.Coverage[region] = &stats.Coverage{}
+		res.LatencyAll[region] = &stats.Latency{}
+		res.LatencyFail[region] = &stats.Latency{}
+	}
+	var jobs []job
+	for ei, e := range errors {
+		for ci, tc := range cases {
+			jobs = append(jobs, job{version: target.VersionAll, errIdx: ei, err: e, caseIdx: ci, tc: tc})
+		}
+	}
+	err := runAll(cfg, jobs, func(o outcome) {
+		region := o.job.err.Region
+		res.Coverage[region].Add(o.res.Detected, o.res.Failed)
+		if o.res.Detected {
+			res.LatencyAll[region].Add(o.res.LatencyMs)
+			if o.res.Failed {
+				res.LatencyFail[region].Add(o.res.LatencyMs)
+			}
+		}
+		res.Runs++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

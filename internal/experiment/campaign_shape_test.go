@@ -1,0 +1,23 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCampaignShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign shape preview is slow")
+	}
+	e1, err := RunE1(Config{Grid: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(Table7(e1))
+	e2, err := RunE2(Config{Grid: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(Table9(e2))
+	fmt.Println(ComputeHeadline(e1, e2))
+}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+
+	"easig/internal/stats"
+	"easig/internal/target"
+)
+
+// Machine-readable export of campaign results, for downstream analysis
+// outside this repository (plotting, regression tracking). The schema
+// is stable: field renames are breaking changes.
+
+// ProportionJSON is one coverage estimate with its 95% interval.
+type ProportionJSON struct {
+	Detected  int      `json:"detected"`
+	Total     int      `json:"total"`
+	Percent   *float64 `json:"percent,omitempty"`
+	HalfWidth *float64 `json:"half_width_95,omitempty"`
+}
+
+func proportionJSON(p stats.Proportion) ProportionJSON {
+	out := ProportionJSON{Detected: p.Detected, Total: p.Total}
+	if p.Valid() {
+		pc := p.Percent()
+		out.Percent = &pc
+		if hw, ok := p.HalfWidth95(); ok {
+			out.HalfWidth = &hw
+		}
+	}
+	return out
+}
+
+// CoverageJSON groups the three conditional estimates of a table cell.
+type CoverageJSON struct {
+	All    ProportionJSON `json:"all"`
+	Fail   ProportionJSON `json:"fail"`
+	NoFail ProportionJSON `json:"no_fail"`
+}
+
+func coverageJSON(c stats.Coverage) CoverageJSON {
+	return CoverageJSON{
+		All:    proportionJSON(c.All),
+		Fail:   proportionJSON(c.Fail),
+		NoFail: proportionJSON(c.NoFail),
+	}
+}
+
+// LatencyJSON is one latency aggregate in milliseconds.
+type LatencyJSON struct {
+	Count int      `json:"count"`
+	MinMs *int64   `json:"min_ms,omitempty"`
+	AvgMs *float64 `json:"avg_ms,omitempty"`
+	MaxMs *int64   `json:"max_ms,omitempty"`
+}
+
+func latencyJSON(l stats.Latency) LatencyJSON {
+	out := LatencyJSON{Count: l.Count()}
+	if mn, ok := l.Min(); ok {
+		out.MinMs = &mn
+	}
+	if avg, ok := l.Average(); ok {
+		out.AvgMs = &avg
+	}
+	if mx, ok := l.Max(); ok {
+		out.MaxMs = &mx
+	}
+	return out
+}
+
+// E1CellJSON is one (signal, version) cell of Tables 7 and 8.
+type E1CellJSON struct {
+	Signal   string       `json:"signal"`
+	Version  string       `json:"version"`
+	Coverage CoverageJSON `json:"coverage"`
+	Latency  LatencyJSON  `json:"latency"`
+}
+
+// E1JSON is the machine-readable E1 campaign result.
+type E1JSON struct {
+	Experiment string                    `json:"experiment"`
+	Runs       int                       `json:"runs"`
+	Cells      []E1CellJSON              `json:"cells"`
+	Totals     []E1CellJSON              `json:"totals"`
+	Breakdown  map[string]map[string]int `json:"breakdown_by_test"`
+}
+
+// ExportE1 converts an E1 result to its export form.
+func ExportE1(r *E1Result) E1JSON {
+	out := E1JSON{
+		Experiment: "E1",
+		Runs:       r.Runs,
+		Breakdown:  map[string]map[string]int{},
+	}
+	names := target.SignalNames()
+	for vi, v := range r.Versions {
+		for sig, name := range names {
+			out.Cells = append(out.Cells, E1CellJSON{
+				Signal:   name,
+				Version:  v.String(),
+				Coverage: coverageJSON(r.Coverage[sig][vi]),
+				Latency:  latencyJSON(r.Latency[sig][vi]),
+			})
+		}
+		out.Totals = append(out.Totals, E1CellJSON{
+			Signal:   "total",
+			Version:  v.String(),
+			Coverage: coverageJSON(r.TotalCoverage(vi)),
+			Latency:  latencyJSON(r.TotalLatency(vi)),
+		})
+		byTest := map[string]int{}
+		for id, n := range r.ByTest[vi] {
+			byTest[id.String()] = n
+		}
+		out.Breakdown[v.String()] = byTest
+	}
+	return out
+}
+
+// E2AreaJSON is one memory area of Table 9.
+type E2AreaJSON struct {
+	Area        string       `json:"area"`
+	Coverage    CoverageJSON `json:"coverage"`
+	LatencyAll  LatencyJSON  `json:"latency_all"`
+	LatencyFail LatencyJSON  `json:"latency_failures"`
+}
+
+// E2JSON is the machine-readable E2 campaign result.
+type E2JSON struct {
+	Experiment string       `json:"experiment"`
+	Runs       int          `json:"runs"`
+	Areas      []E2AreaJSON `json:"areas"`
+}
+
+// ExportE2 converts an E2 result to its export form.
+func ExportE2(r *E2Result) E2JSON {
+	out := E2JSON{Experiment: "E2", Runs: r.Runs}
+	for _, region := range []string{target.RegionRAM, target.RegionStack} {
+		out.Areas = append(out.Areas, E2AreaJSON{
+			Area:        region,
+			Coverage:    coverageJSON(*r.Coverage[region]),
+			LatencyAll:  latencyJSON(*r.LatencyAll[region]),
+			LatencyFail: latencyJSON(*r.LatencyFail[region]),
+		})
+	}
+	cov, lat, latFail := r.Total()
+	out.Areas = append(out.Areas, E2AreaJSON{
+		Area:        "total",
+		Coverage:    coverageJSON(cov),
+		LatencyAll:  latencyJSON(lat),
+		LatencyFail: latencyJSON(latFail),
+	})
+	return out
+}
+
+// ReportJSON bundles both campaigns with the headline and model fit.
+type ReportJSON struct {
+	E1       *E1JSON   `json:"e1,omitempty"`
+	E2       *E2JSON   `json:"e2,omitempty"`
+	Headline *Headline `json:"headline,omitempty"`
+	Model    *ModelFit `json:"model_fit,omitempty"`
+}
+
+// WriteJSON writes the bundled report as indented JSON.
+func WriteJSON(w io.Writer, e1 *E1Result, e2 *E2Result) error {
+	var report ReportJSON
+	if e1 != nil {
+		x := ExportE1(e1)
+		report.E1 = &x
+	}
+	if e2 != nil {
+		x := ExportE2(e2)
+		report.E2 = &x
+	}
+	if e1 != nil || e2 != nil {
+		h := ComputeHeadline(e1, e2)
+		report.Headline = &h
+	}
+	if e1 != nil && e2 != nil {
+		if fit, err := FitModel(e1, e2); err == nil {
+			report.Model = &fit
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+
+	"easig/internal/stats"
+	"easig/internal/target"
+)
+
+// ModelFit connects the two campaigns through the paper's §2.4
+// expression Pdetect = (Pen*Pprop + Pem)*Pds:
+//
+//   - Pds comes from E1 (the Table 7 All-version total),
+//   - Pem from the memory layout (monitored-signal bytes over
+//     injectable bytes),
+//   - Pdetect from E2 (the Table 9 total),
+//   - Pprop is solved from the three, quantifying how often a random
+//     memory error propagates into a monitored signal.
+type ModelFit struct {
+	// Model carries Pem, the solved Pprop and the E1-measured Pds.
+	Model stats.DetectionModel
+	// MeasuredPdetect is E2's overall detection probability.
+	MeasuredPdetect float64
+	// PredictedUniform is what Pdetect would be if errors never
+	// propagated (Pprop = 0): the floor set by direct hits alone.
+	PredictedUniform float64
+}
+
+// FitModel derives the §2.4 model from campaign results. E1 must
+// include the All version; injectableBytes is the total size of the
+// injected regions (RAM + stack for the paper's E2).
+func FitModel(e1 *E1Result, e2 *E2Result) (ModelFit, error) {
+	vi := e1.versionIndex(target.VersionAll)
+	if vi < 0 {
+		return ModelFit{}, fmt.Errorf("experiment: E1 result lacks the All version")
+	}
+	pds := e1.TotalCoverage(vi).All.Estimate()
+	cov, _, _ := e2.Total()
+	pdetect := cov.All.Estimate()
+	// The seven monitored 16-bit signals over the injectable bytes.
+	pem := stats.PemFromLayout(2*target.NumEAs, target.RAMSize+target.StackSize)
+	m := stats.DetectionModel{Pem: pem, Pds: pds}
+	floor := m.Pdetect()
+	pprop, ok := stats.SolvePprop(pdetect, m)
+	if !ok {
+		return ModelFit{}, fmt.Errorf("experiment: degenerate model (Pds=%g, Pem=%g)", pds, pem)
+	}
+	if pprop < 0 {
+		pprop = 0 // sampling noise can push the estimate slightly negative
+	}
+	m.Pprop = pprop
+	return ModelFit{
+		Model:            m,
+		MeasuredPdetect:  pdetect,
+		PredictedUniform: floor,
+	}, nil
+}
+
+// String renders the fit for reports.
+func (f ModelFit) String() string {
+	return fmt.Sprintf(`Section 2.4 model fit: Pdetect = (Pen*Pprop + Pem)*Pds
+  Pds  (from E1, All version):         %.3f
+  Pem  (monitored bytes / injectable): %.4f
+  Pdetect (from E2):                   %.3f
+  direct-hit floor (Pprop = 0):        %.4f
+  solved Pprop (propagation rate):     %.3f
+`, f.Model.Pds, f.Model.Pem, f.MeasuredPdetect, f.PredictedUniform, f.Model.Pprop)
+}

@@ -1,0 +1,300 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"easig/internal/core"
+	"easig/internal/inject"
+	"easig/internal/stats"
+	"easig/internal/target"
+)
+
+// Text renderers for the paper's tables. Each returns a fixed-width
+// table matching the corresponding table's rows and columns, so the
+// reproduction's output can be diffed against the paper side by side.
+
+// renderGrid lays out rows of cells with padded columns.
+func renderGrid(rows [][]string) string {
+	widths := map[int]int{}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table4 renders the signal classification of the target (paper
+// Table 4).
+func Table4() string {
+	rows := [][]string{{"Signal", "Test location", "Class"}}
+	names := target.SignalNames()
+	classes := target.SignalClasses()
+	locs := target.TestLocations()
+	for i := range names {
+		rows = append(rows, []string{names[i], locs[i], classes[i].String()})
+	}
+	return "Table 4. Classification of the signals.\n" + renderGrid(rows)
+}
+
+// Table6 renders the E1 error-set distribution (paper Table 6) for the
+// given test-case count per error.
+func Table6(casesPerError int) string {
+	errors := inject.BuildE1()
+	perSignal := map[string][]inject.Error{}
+	for _, e := range errors {
+		perSignal[e.Signal] = append(perSignal[e.Signal], e)
+	}
+	rows := [][]string{{"Signal", "Executable assertion", "# errors (ns)", "Error numbers", "# injections"}}
+	for i, name := range target.SignalNames() {
+		es := perSignal[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("EA%d", i+1),
+			fmt.Sprintf("%d", len(es)),
+			fmt.Sprintf("%s-%s", es[0].ID, es[len(es)-1].ID),
+			fmt.Sprintf("%d", len(es)*casesPerError),
+		})
+	}
+	rows = append(rows, []string{"Total", "-", fmt.Sprintf("%d", len(errors)), "-", fmt.Sprintf("%d", len(errors)*casesPerError)})
+	return "Table 6. The distribution of errors in the error set E1.\n" + renderGrid(rows)
+}
+
+// Table7 renders the E1 detection probabilities with 95% confidence
+// intervals (paper Table 7): one row group per signal with the P(d),
+// P(d|fail) and P(d|no fail) measures, one column per version.
+func Table7(r *E1Result) string {
+	header := []string{"Signal", "Measure"}
+	for _, v := range r.Versions {
+		header = append(header, v.String())
+	}
+	rows := [][]string{header}
+	appendGroup := func(name string, covs []stats.Coverage) {
+		measures := []struct {
+			label string
+			pick  func(stats.Coverage) stats.Proportion
+		}{
+			{"P(d)", func(c stats.Coverage) stats.Proportion { return c.All }},
+			{"P(d|fail)", func(c stats.Coverage) stats.Proportion { return c.Fail }},
+			{"P(d|no fail)", func(c stats.Coverage) stats.Proportion { return c.NoFail }},
+		}
+		for _, m := range measures {
+			row := []string{name, m.label}
+			name = "" // only label the first row of the group
+			for _, c := range covs {
+				p := m.pick(c)
+				if p.Detected == 0 {
+					// Like the paper, cells with no registered
+					// detection are left empty.
+					row = append(row, "")
+					continue
+				}
+				row = append(row, m.pick(c).String())
+			}
+			rows = append(rows, row)
+		}
+	}
+	for sig, name := range target.SignalNames() {
+		appendGroup(name, r.Coverage[sig])
+	}
+	totals := make([]stats.Coverage, len(r.Versions))
+	for vi := range r.Versions {
+		totals[vi] = r.TotalCoverage(vi)
+	}
+	appendGroup("Total", totals)
+	return "Table 7. Error detection probabilities (%) with confidence intervals at 95%.\n" + renderGrid(rows)
+}
+
+// Table8 renders the E1 detection latencies in milliseconds (paper
+// Table 8): min/average/max per signal and version, over all detected
+// errors.
+func Table8(r *E1Result) string {
+	header := []string{"Signal", "Latency"}
+	for _, v := range r.Versions {
+		header = append(header, v.String())
+	}
+	rows := [][]string{header}
+	appendGroup := func(name string, lats []stats.Latency) {
+		for li, label := range []string{"Min", "Average", "Max"} {
+			row := []string{name, label}
+			name = ""
+			for _, l := range lats {
+				if l.Count() == 0 {
+					row = append(row, "")
+					continue
+				}
+				switch li {
+				case 0:
+					v, _ := l.Min()
+					row = append(row, fmt.Sprintf("%d", v))
+				case 1:
+					v, _ := l.Average()
+					row = append(row, fmt.Sprintf("%.0f", v))
+				default:
+					v, _ := l.Max()
+					row = append(row, fmt.Sprintf("%d", v))
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	for sig, name := range target.SignalNames() {
+		appendGroup(name, r.Latency[sig])
+	}
+	totals := make([]stats.Latency, len(r.Versions))
+	for vi := range r.Versions {
+		totals[vi] = r.TotalLatency(vi)
+	}
+	appendGroup("Total", totals)
+	return "Table 8. Error detection latencies for all errors (milliseconds).\n" + renderGrid(rows)
+}
+
+// Table9 renders the E2 results (paper Table 9): detection coverage
+// and latency per memory area.
+func Table9(r *E2Result) string {
+	rows := [][]string{{"Area", "Measure", "Value", "Latency (all)", "Latency (failures)"}}
+	appendArea := func(label string, cov stats.Coverage, lat, latFail stats.Latency) {
+		latCell := func(l stats.Latency, pick int) string {
+			if l.Count() == 0 {
+				return ""
+			}
+			switch pick {
+			case 0:
+				v, _ := l.Min()
+				return fmt.Sprintf("Min %d", v)
+			case 1:
+				v, _ := l.Average()
+				return fmt.Sprintf("Average %.0f", v)
+			default:
+				v, _ := l.Max()
+				return fmt.Sprintf("Max %d", v)
+			}
+		}
+		cells := []struct {
+			measure string
+			p       stats.Proportion
+		}{
+			{"P(d)", cov.All},
+			{"P(d|fail)", cov.Fail},
+			{"P(d|no fail)", cov.NoFail},
+		}
+		for i, c := range cells {
+			rows = append(rows, []string{label, c.measure, c.p.String(), latCell(lat, i), latCell(latFail, i)})
+			label = ""
+		}
+	}
+	appendArea("RAM", *r.Coverage[target.RegionRAM], *r.LatencyAll[target.RegionRAM], *r.LatencyFail[target.RegionRAM])
+	appendArea("Stack", *r.Coverage[target.RegionStack], *r.LatencyAll[target.RegionStack], *r.LatencyFail[target.RegionStack])
+	cov, lat, latFail := r.Total()
+	appendArea("Total", cov, lat, latFail)
+	return "Table 9. Results for error set E2.\n" + renderGrid(rows)
+}
+
+// TestBreakdown renders the per-constraint detection breakdown of one
+// E1 version: how many violations each generic assertion kind (value
+// bound, rate window, domain membership, transition legality) raised.
+// The paper does not tabulate this, but it explains the coverage
+// structure: counters are caught by rate and transition tests,
+// continuous signals mostly by value bounds.
+func TestBreakdown(r *E1Result, version target.Version) string {
+	vi := r.versionIndex(version)
+	if vi < 0 {
+		return ""
+	}
+	ids := []core.TestID{
+		core.TestMax, core.TestMin, core.TestIncrease, core.TestDecrease,
+		core.TestUnchanged, core.TestDomain, core.TestTransition,
+	}
+	var total int
+	for _, id := range ids {
+		total += r.ByTest[vi][id]
+	}
+	rows := [][]string{{"Violated assertion", "Count", "Share"}}
+	for _, id := range ids {
+		n := r.ByTest[vi][id]
+		if n == 0 {
+			continue
+		}
+		share := ""
+		if total > 0 {
+			share = fmt.Sprintf("%.1f%%", float64(n)*100/float64(total))
+		}
+		rows = append(rows, []string{id.String(), fmt.Sprintf("%d", n), share})
+	}
+	rows = append(rows, []string{"total", fmt.Sprintf("%d", total), ""})
+	return fmt.Sprintf("Detection breakdown by violated assertion (%v version).\n", version) + renderGrid(rows)
+}
+
+// Headline summarises the paper's headline numbers from campaign
+// results: overall Pds, Pds for failing runs, average All-version
+// latency, and the E2 RAM P(d|fail).
+type Headline struct {
+	// PdsPercent is the overall detection probability for errors in
+	// monitored signals, All version (paper: 74%).
+	PdsPercent float64
+	// PdsFailPercent is the same conditioned on failing runs
+	// (paper: >99%).
+	PdsFailPercent float64
+	// AvgLatencyAllMs is the average detection latency of the All
+	// version (paper: 511 ms).
+	AvgLatencyAllMs float64
+	// E2RAMFailPercent is the E2 P(d|fail) in the RAM area
+	// (paper: 81%).
+	E2RAMFailPercent float64
+	// E2StackFailPercent is the E2 P(d|fail) in the stack area
+	// (paper: 13.7%).
+	E2StackFailPercent float64
+}
+
+// ComputeHeadline extracts the headline numbers; e2 may be nil when
+// only E1 ran.
+func ComputeHeadline(e1 *E1Result, e2 *E2Result) Headline {
+	var h Headline
+	if e1 != nil {
+		if vi := e1.versionIndex(target.VersionAll); vi >= 0 {
+			cov := e1.TotalCoverage(vi)
+			h.PdsPercent = r0(cov.All.Percent())
+			h.PdsFailPercent = r0(cov.Fail.Percent())
+			if avg, ok := e1.TotalLatency(vi).Average(); ok {
+				h.AvgLatencyAllMs = avg
+			}
+		}
+	}
+	if e2 != nil {
+		h.E2RAMFailPercent = r0(e2.Coverage[target.RegionRAM].Fail.Percent())
+		h.E2StackFailPercent = r0(e2.Coverage[target.RegionStack].Fail.Percent())
+	}
+	return h
+}
+
+// r0 maps NaN (no failing runs) to 0 for report stability.
+func r0(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	return v
+}
+
+// String renders the headline comparison block.
+func (h Headline) String() string {
+	return fmt.Sprintf(`Headline results (paper -> measured):
+  Pds overall (All version):        74%%   -> %.1f%%
+  Pds for errors causing failure:  >99%%   -> %.1f%%
+  Average detection latency (All): 511 ms -> %.0f ms
+  E2 P(d|fail) in RAM:              81%%   -> %.1f%%
+  E2 P(d|fail) in stack:            13.7%% -> %.1f%%
+`, h.PdsPercent, h.PdsFailPercent, h.AvgLatencyAllMs, h.E2RAMFailPercent, h.E2StackFailPercent)
+}

@@ -1,0 +1,36 @@
+package memory
+
+import (
+	"fmt"
+	"io"
+)
+
+// Dump writes a canonical hex dump of every region to w: 16 bytes per
+// line with a region header, for debugging injected state and
+// post-mortem inspection of experiment runs (cmd/arrest -dump).
+func (m *Memory) Dump(w io.Writer) error {
+	for _, r := range m.regions {
+		if _, err := fmt.Fprintf(w, "region %q: 0x%04x..0x%04x (%d bytes)\n",
+			r.spec.Name, r.spec.Base, r.spec.End()-1, r.spec.Size); err != nil {
+			return err
+		}
+		for off := 0; off < len(r.data); off += 16 {
+			end := off + 16
+			if end > len(r.data) {
+				end = len(r.data)
+			}
+			if _, err := fmt.Fprintf(w, "  %04x:", int(r.spec.Base)+off); err != nil {
+				return err
+			}
+			for i := off; i < end; i++ {
+				if _, err := fmt.Fprintf(w, " %02x", r.data[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

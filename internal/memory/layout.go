@@ -1,0 +1,85 @@
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Layout allocates named variables sequentially inside one region and
+// remembers the symbol table, so experiment reports can resolve an
+// injected address back to the variable it hit (the paper's Table 6
+// maps E1 error numbers to signals the same way).
+type Layout struct {
+	region RegionSpec
+	next   uint32
+	syms   []Symbol
+}
+
+// Symbol is one allocated variable: name, first address and size in
+// bytes.
+type Symbol struct {
+	Name string
+	Addr uint16
+	Size uint16
+}
+
+// End returns the first address past the symbol.
+func (s Symbol) End() uint32 { return uint32(s.Addr) + uint32(s.Size) }
+
+// ErrRegionFull reports an allocation beyond the region size.
+var ErrRegionFull = errors.New("memory: layout region is full")
+
+// NewLayout starts allocating at the base of the given region.
+func NewLayout(region RegionSpec) *Layout {
+	return &Layout{region: region, next: uint32(region.Base)}
+}
+
+// Alloc reserves size bytes for name and returns the symbol.
+func (l *Layout) Alloc(name string, size uint16) (Symbol, error) {
+	if l.next+uint32(size) > l.region.End() {
+		return Symbol{}, fmt.Errorf("%w: %q needs %d bytes, %d left in %q",
+			ErrRegionFull, name, size, l.region.End()-l.next, l.region.Name)
+	}
+	s := Symbol{Name: name, Addr: uint16(l.next), Size: size}
+	l.next += uint32(size)
+	l.syms = append(l.syms, s)
+	return s, nil
+}
+
+// Word reserves one 16-bit word for name.
+func (l *Layout) Word(name string) (Symbol, error) { return l.Alloc(name, 2) }
+
+// Words reserves an array of n 16-bit words for name and returns the
+// symbol of the whole array.
+func (l *Layout) Words(name string, n uint16) (Symbol, error) { return l.Alloc(name, 2*n) }
+
+// Used returns the number of allocated bytes.
+func (l *Layout) Used() uint16 { return uint16(l.next - uint32(l.region.Base)) }
+
+// Free returns the number of unallocated bytes left in the region.
+func (l *Layout) Free() uint16 { return uint16(l.region.End() - l.next) }
+
+// Symbols returns the symbol table in allocation order.
+func (l *Layout) Symbols() []Symbol { return append([]Symbol(nil), l.syms...) }
+
+// Resolve returns the symbol containing addr, if any. Unallocated
+// space (padding, spare RAM) resolves to false, which experiment
+// reports render as "(unused)".
+func (l *Layout) Resolve(addr uint16) (Symbol, bool) {
+	i := sort.Search(len(l.syms), func(i int) bool { return l.syms[i].End() > uint32(addr) })
+	if i < len(l.syms) && addr >= l.syms[i].Addr {
+		return l.syms[i], true
+	}
+	return Symbol{}, false
+}
+
+// Lookup returns the symbol with the given name.
+func (l *Layout) Lookup(name string) (Symbol, bool) {
+	for _, s := range l.syms {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}

@@ -1,0 +1,83 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLayoutAlloc(t *testing.T) {
+	l := NewLayout(RegionSpec{Name: "ram", Base: 0x10, Size: 16})
+	a, err := l.Word("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr != 0x10 || a.Size != 2 {
+		t.Fatalf("a = %+v", a)
+	}
+	b, err := l.Words("b", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Addr != 0x12 || b.Size != 6 {
+		t.Fatalf("b = %+v", b)
+	}
+	if used, free := l.Used(), l.Free(); used != 8 || free != 8 {
+		t.Fatalf("used/free = %d/%d, want 8/8", used, free)
+	}
+	if _, err := l.Alloc("big", 9); !errors.Is(err, ErrRegionFull) {
+		t.Fatalf("overallocation = %v, want ErrRegionFull", err)
+	}
+	// Exactly filling the region is fine.
+	if _, err := l.Alloc("rest", 8); err != nil {
+		t.Fatalf("exact fill: %v", err)
+	}
+	if l.Free() != 0 {
+		t.Fatalf("free = %d after exact fill", l.Free())
+	}
+}
+
+func TestLayoutResolve(t *testing.T) {
+	l := NewLayout(RegionSpec{Name: "ram", Base: 100, Size: 32})
+	l.Word("first")
+	l.Words("arr", 2)
+	l.Word("last")
+
+	tests := []struct {
+		addr uint16
+		name string
+		ok   bool
+	}{
+		{100, "first", true},
+		{101, "first", true},
+		{102, "arr", true},
+		{105, "arr", true},
+		{106, "last", true},
+		{108, "", false}, // unallocated tail
+		{99, "", false},  // before the region
+	}
+	for _, tt := range tests {
+		sym, ok := l.Resolve(tt.addr)
+		if ok != tt.ok || (ok && sym.Name != tt.name) {
+			t.Errorf("Resolve(%d) = (%q, %v), want (%q, %v)", tt.addr, sym.Name, ok, tt.name, tt.ok)
+		}
+	}
+}
+
+func TestLayoutLookupAndSymbols(t *testing.T) {
+	l := NewLayout(RegionSpec{Name: "ram", Base: 0, Size: 16})
+	l.Word("x")
+	l.Word("y")
+	if s, ok := l.Lookup("y"); !ok || s.Addr != 2 {
+		t.Fatalf("Lookup(y) = (%+v, %v)", s, ok)
+	}
+	if _, ok := l.Lookup("z"); ok {
+		t.Error("Lookup of unknown symbol succeeded")
+	}
+	syms := l.Symbols()
+	if len(syms) != 2 || syms[0].Name != "x" || syms[1].Name != "y" {
+		t.Fatalf("Symbols() = %+v", syms)
+	}
+	if syms[0].End() != 2 {
+		t.Errorf("End() = %d", syms[0].End())
+	}
+}

@@ -1,0 +1,113 @@
+package physics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ForceTable is the maximum-allowed-force table of the paper's failure
+// constraint 2: "The maximum allowed forces (Fmax) are defined for
+// several aircraft masses and engaging velocities in [15]. Force
+// constraints for combinations of masses and velocities other than
+// those given in [15] are obtained using interpolation and
+// extrapolation." MIL-A-38202C itself is not public, so the default
+// table is synthetic: structural limits scale with mass and derate with
+// engagement speed.
+type ForceTable struct {
+	// Masses are the grid masses in kg, strictly increasing.
+	Masses []float64
+	// Velocities are the grid velocities in m/s, strictly increasing.
+	Velocities []float64
+	// FmaxN holds the allowed force in newtons, indexed
+	// [massIndex][velocityIndex].
+	FmaxN [][]float64
+}
+
+// Errors returned by ForceTable.Validate; match with errors.Is.
+var (
+	// ErrTableShape reports a table whose value matrix does not match
+	// the axes.
+	ErrTableShape = errors.New("physics: force table shape mismatch")
+	// ErrTableOrder reports non-increasing axis values.
+	ErrTableOrder = errors.New("physics: force table axes must be strictly increasing")
+)
+
+// DefaultForceTable returns the synthetic Fmax grid used by the
+// reproduction: Fmax = mass × a_struct(v), with the structural
+// deceleration limit a_struct derating linearly from 21 m/s² at 40 m/s
+// to 17.5 m/s² at 70 m/s. Under these limits the nominal controller
+// (which commands about v²/(2·290 m) ≤ 8.5 m/s²) has a wide margin,
+// while a stuck-open valve (full 17 MPa on both drums, 238 kN) exceeds
+// Fmax for light aircraft.
+func DefaultForceTable() ForceTable {
+	masses := []float64{8000, 12000, 16000, 20000}
+	velocities := []float64{40, 50, 60, 70}
+	aStruct := func(v float64) float64 { return 21 - (v-40)*(21-17.5)/30 }
+	f := make([][]float64, len(masses))
+	for i, m := range masses {
+		f[i] = make([]float64, len(velocities))
+		for j, v := range velocities {
+			f[i][j] = m * aStruct(v)
+		}
+	}
+	return ForceTable{Masses: masses, Velocities: velocities, FmaxN: f}
+}
+
+// Validate checks the table's internal consistency.
+func (t ForceTable) Validate() error {
+	if len(t.Masses) < 2 || len(t.Velocities) < 2 {
+		return fmt.Errorf("%w: need at least a 2x2 grid", ErrTableShape)
+	}
+	if len(t.FmaxN) != len(t.Masses) {
+		return fmt.Errorf("%w: %d mass rows for %d masses", ErrTableShape, len(t.FmaxN), len(t.Masses))
+	}
+	for i, row := range t.FmaxN {
+		if len(row) != len(t.Velocities) {
+			return fmt.Errorf("%w: row %d has %d columns for %d velocities", ErrTableShape, i, len(row), len(t.Velocities))
+		}
+	}
+	if !sort.Float64sAreSorted(t.Masses) || !sort.Float64sAreSorted(t.Velocities) {
+		return ErrTableOrder
+	}
+	for i := 1; i < len(t.Masses); i++ {
+		if t.Masses[i] == t.Masses[i-1] {
+			return fmt.Errorf("%w: duplicate mass %g", ErrTableOrder, t.Masses[i])
+		}
+	}
+	for i := 1; i < len(t.Velocities); i++ {
+		if t.Velocities[i] == t.Velocities[i-1] {
+			return fmt.Errorf("%w: duplicate velocity %g", ErrTableOrder, t.Velocities[i])
+		}
+	}
+	return nil
+}
+
+// Fmax returns the allowed force for the given mass and engagement
+// velocity using bilinear interpolation inside the grid and linear
+// extrapolation outside it, as the paper prescribes.
+func (t ForceTable) Fmax(massKg, velocityMS float64) float64 {
+	mi, mf := bracket(t.Masses, massKg)
+	vi, vf := bracket(t.Velocities, velocityMS)
+	f00 := t.FmaxN[mi][vi]
+	f01 := t.FmaxN[mi][vi+1]
+	f10 := t.FmaxN[mi+1][vi]
+	f11 := t.FmaxN[mi+1][vi+1]
+	low := f00 + (f01-f00)*vf
+	high := f10 + (f11-f10)*vf
+	return low + (high-low)*mf
+}
+
+// bracket returns the lower index of the segment used for x and the
+// (possibly <0 or >1) interpolation fraction, implementing linear
+// extrapolation beyond the axis ends.
+func bracket(axis []float64, x float64) (int, float64) {
+	i := sort.SearchFloat64s(axis, x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > len(axis)-2 {
+		i = len(axis) - 2
+	}
+	return i, (x - axis[i]) / (axis[i+1] - axis[i])
+}

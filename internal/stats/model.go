@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DetectionModel is the paper's §2.4 expression for the total error
+// detection probability of a system:
+//
+//	Pdetect = (Pen*Pprop + Pem) * Pds
+//
+// where, given that an error has occurred,
+//
+//	Pem   = Pr{error location is in a monitored signal},
+//	Pen   = 1 - Pem,
+//	Pprop = Pr{error propagates to a monitored signal},
+//	Pds   = Pr{detected | error is located in a monitored signal}.
+//
+// Pds is assessed separately by error injection (the E1 campaign) and
+// is independent of the error-occurrence distribution; Pem and Pprop
+// characterise the system and workload.
+type DetectionModel struct {
+	// Pem is the probability that the error hits a monitored signal.
+	Pem float64
+	// Pprop is the probability that an error elsewhere propagates to a
+	// monitored signal.
+	Pprop float64
+	// Pds is the detection probability for errors in monitored
+	// signals (estimated by E1 as the paper's Table 7 totals).
+	Pds float64
+}
+
+// ErrProbability reports a model parameter outside [0, 1].
+var ErrProbability = errors.New("stats: probability outside [0, 1]")
+
+// Validate checks that all parameters are probabilities.
+func (m DetectionModel) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Pem", m.Pem}, {"Pprop", m.Pprop}, {"Pds", m.Pds}} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("%w: %s = %g", ErrProbability, p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Pen returns 1 - Pem.
+func (m DetectionModel) Pen() float64 { return 1 - m.Pem }
+
+// Pdetect evaluates the paper's expression.
+func (m DetectionModel) Pdetect() float64 {
+	return (m.Pen()*m.Pprop + m.Pem) * m.Pds
+}
+
+// PemFromLayout estimates Pem for uniformly distributed errors: the
+// fraction of injectable bytes occupied by monitored signals.
+func PemFromLayout(monitoredBytes, totalBytes int) float64 {
+	if totalBytes <= 0 {
+		return 0
+	}
+	return float64(monitoredBytes) / float64(totalBytes)
+}
+
+// SolvePprop inverts the expression for Pprop given a measured Pdetect
+// (e.g. the E2 campaign total) and the other parameters; ok is false
+// when the system is degenerate (Pds or Pen zero).
+func SolvePprop(pdetect float64, m DetectionModel) (float64, bool) {
+	if m.Pds == 0 || m.Pen() == 0 {
+		return 0, false
+	}
+	return (pdetect/m.Pds - m.Pem) / m.Pen(), true
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectionModelPdetect(t *testing.T) {
+	// The paper's discussion (§5.2): with Pds = 74%, Pdetect = 74%
+	// only if every error reaches a monitored signal.
+	m := DetectionModel{Pem: 1, Pprop: 0, Pds: 0.74}
+	if got := m.Pdetect(); math.Abs(got-0.74) > 1e-12 {
+		t.Errorf("Pdetect = %g", got)
+	}
+	// No monitored-signal hits and no propagation: nothing detected.
+	m = DetectionModel{Pem: 0, Pprop: 0, Pds: 0.74}
+	if got := m.Pdetect(); got != 0 {
+		t.Errorf("Pdetect = %g, want 0", got)
+	}
+	// Hand-computed middle case.
+	m = DetectionModel{Pem: 0.2, Pprop: 0.5, Pds: 0.8}
+	want := (0.8*0.5 + 0.2) * 0.8
+	if got := m.Pdetect(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Pdetect = %g, want %g", got, want)
+	}
+}
+
+func TestDetectionModelValidate(t *testing.T) {
+	if err := (DetectionModel{Pem: 0.5, Pprop: 0.5, Pds: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []DetectionModel{
+		{Pem: -0.1, Pprop: 0.5, Pds: 0.5},
+		{Pem: 0.5, Pprop: 1.1, Pds: 0.5},
+		{Pem: 0.5, Pprop: 0.5, Pds: math.NaN()},
+	} {
+		if err := bad.Validate(); !errors.Is(err, ErrProbability) {
+			t.Errorf("%+v: %v, want ErrProbability", bad, err)
+		}
+	}
+}
+
+func TestPemFromLayout(t *testing.T) {
+	// The target: 7 monitored 16-bit signals in 417 bytes of RAM.
+	got := PemFromLayout(14, 417)
+	if math.Abs(got-14.0/417) > 1e-12 {
+		t.Errorf("Pem = %g", got)
+	}
+	if PemFromLayout(1, 0) != 0 {
+		t.Error("degenerate layout should yield 0")
+	}
+}
+
+// SolvePprop inverts Pdetect exactly.
+func TestQuickSolvePpropInverts(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		m := DetectionModel{
+			Pem:   float64(a%1000) / 1000,
+			Pprop: float64(b%1000) / 1000,
+			Pds:   float64(c%999+1) / 1000, // keep Pds > 0
+		}
+		if m.Pen() == 0 {
+			return true
+		}
+		got, ok := SolvePprop(m.Pdetect(), m)
+		return ok && math.Abs(got-m.Pprop) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pdetect is monotone in each parameter and bounded by Pds.
+func TestQuickPdetectBounds(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		m := DetectionModel{
+			Pem:   float64(a%1001) / 1000,
+			Pprop: float64(b%1001) / 1000,
+			Pds:   float64(c%1001) / 1000,
+		}
+		p := m.Pdetect()
+		if p < -1e-12 || p > m.Pds+1e-12 {
+			return false
+		}
+		bigger := m
+		bigger.Pprop = math.Min(1, m.Pprop+0.1)
+		return bigger.Pdetect()+1e-12 >= p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvePpropDegenerate(t *testing.T) {
+	if _, ok := SolvePprop(0.5, DetectionModel{Pds: 0}); ok {
+		t.Error("Pds = 0 should not solve")
+	}
+	if _, ok := SolvePprop(0.5, DetectionModel{Pem: 1, Pds: 0.5}); ok {
+		t.Error("Pen = 0 should not solve")
+	}
+}

@@ -1,0 +1,177 @@
+// Package stats implements the coverage estimators the paper uses for
+// its result tables: the detection-probability estimates P(d),
+// P(d|fail) and P(d|no fail) with 95% confidence intervals, following
+// the formulas for coverage estimation of Powell, Martins, Arlat and
+// Crouzet, "Estimators for Fault Tolerance Coverage Evaluation" (IEEE
+// ToC 44(2), 1995, the paper's [18]), and min/average/max detection
+// latency aggregation.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// z95 is the two-sided 95% normal quantile used for the confidence
+// intervals in the paper's Tables 7 and 9.
+const z95 = 1.959963984540054
+
+// Proportion is a binomial coverage estimate: nd detections out of ne
+// experiments.
+type Proportion struct {
+	// Detected is the number of runs with at least one detection (nd).
+	Detected int
+	// Total is the number of runs (ne).
+	Total int
+}
+
+// Valid reports whether the estimate has any observations.
+func (p Proportion) Valid() bool { return p.Total > 0 }
+
+// Estimate returns the point estimate nd/ne. It returns NaN when no
+// experiments were run.
+func (p Proportion) Estimate() float64 {
+	if p.Total == 0 {
+		return math.NaN()
+	}
+	return float64(p.Detected) / float64(p.Total)
+}
+
+// Percent returns the point estimate in percent.
+func (p Proportion) Percent() float64 { return p.Estimate() * 100 }
+
+// HalfWidth95 returns the half-width of the normal-approximation 95%
+// confidence interval, in percent. As in the paper, no interval is
+// reported for measured probabilities of exactly 0% or 100% (the
+// normal approximation degenerates); those return 0 with ok=false.
+func (p Proportion) HalfWidth95() (float64, bool) {
+	if p.Total == 0 {
+		return 0, false
+	}
+	est := p.Estimate()
+	if est == 0 || est == 1 {
+		return 0, false
+	}
+	hw := z95 * math.Sqrt(est*(1-est)/float64(p.Total)) * 100
+	return hw, true
+}
+
+// String renders the estimate like the paper's table cells:
+// "74.0±1.4" (percent), "100.0" when degenerate, and "" when empty.
+func (p Proportion) String() string {
+	if p.Total == 0 {
+		return ""
+	}
+	if hw, ok := p.HalfWidth95(); ok {
+		return fmt.Sprintf("%.1f±%.1f", p.Percent(), hw)
+	}
+	return fmt.Sprintf("%.1f", p.Percent())
+}
+
+// Coverage groups the three conditional detection probabilities that
+// the paper reports for every signal/assertion cell: P(d), P(d|fail)
+// and P(d|no fail). The relation n = n_fail + n_no-fail holds for both
+// detections and experiments.
+type Coverage struct {
+	All    Proportion
+	Fail   Proportion
+	NoFail Proportion
+}
+
+// Add records one run's outcome into the three estimators.
+func (c *Coverage) Add(detected, failed bool) {
+	c.All.Total++
+	if detected {
+		c.All.Detected++
+	}
+	if failed {
+		c.Fail.Total++
+		if detected {
+			c.Fail.Detected++
+		}
+	} else {
+		c.NoFail.Total++
+		if detected {
+			c.NoFail.Detected++
+		}
+	}
+}
+
+// Merge accumulates another coverage (used to fold per-signal cells
+// into table totals).
+func (c *Coverage) Merge(o Coverage) {
+	c.All.Detected += o.All.Detected
+	c.All.Total += o.All.Total
+	c.Fail.Detected += o.Fail.Detected
+	c.Fail.Total += o.Fail.Total
+	c.NoFail.Detected += o.NoFail.Detected
+	c.NoFail.Total += o.NoFail.Total
+}
+
+// Latency aggregates detection latencies in milliseconds, reporting
+// the min/average/max triple of the paper's Table 8. The zero value is
+// an empty aggregate.
+type Latency struct {
+	n   int
+	sum int64
+	min int64
+	max int64
+}
+
+// Add records one run's detection latency.
+func (l *Latency) Add(ms int64) {
+	if l.n == 0 || ms < l.min {
+		l.min = ms
+	}
+	if l.n == 0 || ms > l.max {
+		l.max = ms
+	}
+	l.n++
+	l.sum += ms
+}
+
+// Merge accumulates another aggregate.
+func (l *Latency) Merge(o Latency) {
+	if o.n == 0 {
+		return
+	}
+	if l.n == 0 {
+		*l = o
+		return
+	}
+	if o.min < l.min {
+		l.min = o.min
+	}
+	if o.max > l.max {
+		l.max = o.max
+	}
+	l.n += o.n
+	l.sum += o.sum
+}
+
+// Count returns the number of recorded latencies.
+func (l Latency) Count() int { return l.n }
+
+// Min returns the minimum latency; ok is false for an empty aggregate.
+func (l Latency) Min() (int64, bool) { return l.min, l.n > 0 }
+
+// Max returns the maximum latency; ok is false for an empty aggregate.
+func (l Latency) Max() (int64, bool) { return l.max, l.n > 0 }
+
+// Average returns the mean latency; ok is false for an empty
+// aggregate.
+func (l Latency) Average() (float64, bool) {
+	if l.n == 0 {
+		return 0, false
+	}
+	return float64(l.sum) / float64(l.n), true
+}
+
+// String renders "min/avg/max" like a Table 8 cell, or "" when empty.
+func (l Latency) String() string {
+	if l.n == 0 {
+		return ""
+	}
+	avg, _ := l.Average()
+	return fmt.Sprintf("%d/%.0f/%d", l.min, avg, l.max)
+}

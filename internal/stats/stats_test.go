@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionEstimate(t *testing.T) {
+	p := Proportion{Detected: 74, Total: 100}
+	if got := p.Estimate(); got != 0.74 {
+		t.Errorf("Estimate = %g", got)
+	}
+	if got := p.Percent(); got != 74 {
+		t.Errorf("Percent = %g", got)
+	}
+	if !p.Valid() {
+		t.Error("Valid = false")
+	}
+	empty := Proportion{}
+	if empty.Valid() || !math.IsNaN(empty.Estimate()) {
+		t.Error("empty proportion must be invalid/NaN")
+	}
+}
+
+func TestProportionConfidenceInterval(t *testing.T) {
+	// Hand-checked: p=0.5, n=100 -> 1.96*sqrt(0.25/100) = 0.098 = 9.8%.
+	p := Proportion{Detected: 50, Total: 100}
+	hw, ok := p.HalfWidth95()
+	if !ok || math.Abs(hw-9.8) > 0.01 {
+		t.Errorf("half width = (%g, %v), want ~9.8", hw, ok)
+	}
+	// The paper's Table 7 total: P(d) = 74.0±1.4 at nd=2072, ne=2800.
+	paper := Proportion{Detected: 2072, Total: 2800}
+	hw, ok = paper.HalfWidth95()
+	if !ok || math.Abs(hw-1.6) > 0.1 {
+		t.Errorf("paper-scale half width = %g, want ~1.6", hw)
+	}
+}
+
+func TestProportionDegenerateCI(t *testing.T) {
+	for _, p := range []Proportion{
+		{Detected: 0, Total: 50},
+		{Detected: 50, Total: 50},
+		{},
+	} {
+		if _, ok := p.HalfWidth95(); ok {
+			t.Errorf("degenerate %+v reported an interval", p)
+		}
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	tests := []struct {
+		p    Proportion
+		want string
+	}{
+		{Proportion{Detected: 50, Total: 100}, "50.0±9.8"},
+		{Proportion{Detected: 100, Total: 100}, "100.0"},
+		{Proportion{Detected: 0, Total: 100}, "0.0"},
+		{Proportion{}, ""},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("%+v.String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestCoverageAdd(t *testing.T) {
+	var c Coverage
+	c.Add(true, true)   // detected failure
+	c.Add(false, true)  // undetected failure
+	c.Add(true, false)  // detected benign
+	c.Add(false, false) // undetected benign
+	if c.All.Total != 4 || c.All.Detected != 2 {
+		t.Errorf("All = %+v", c.All)
+	}
+	if c.Fail.Total != 2 || c.Fail.Detected != 1 {
+		t.Errorf("Fail = %+v", c.Fail)
+	}
+	if c.NoFail.Total != 2 || c.NoFail.Detected != 1 {
+		t.Errorf("NoFail = %+v", c.NoFail)
+	}
+}
+
+// The paper's identity n = n_fail + n_no-fail holds for experiments
+// and detections alike, for any outcome sequence.
+func TestQuickCoveragePartition(t *testing.T) {
+	f := func(outcomes []bool, fails []bool) bool {
+		var c Coverage
+		n := len(outcomes)
+		if len(fails) < n {
+			n = len(fails)
+		}
+		for i := 0; i < n; i++ {
+			c.Add(outcomes[i], fails[i])
+		}
+		return c.All.Total == c.Fail.Total+c.NoFail.Total &&
+			c.All.Detected == c.Fail.Detected+c.NoFail.Detected
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageMerge(t *testing.T) {
+	var a, b Coverage
+	a.Add(true, true)
+	b.Add(false, false)
+	b.Add(true, false)
+	a.Merge(b)
+	if a.All.Total != 3 || a.All.Detected != 2 || a.Fail.Total != 1 || a.NoFail.Total != 2 {
+		t.Errorf("merged = %+v", a)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	var l Latency
+	if _, ok := l.Min(); ok {
+		t.Error("empty aggregate reported a minimum")
+	}
+	if _, ok := l.Average(); ok {
+		t.Error("empty aggregate reported an average")
+	}
+	if l.String() != "" {
+		t.Errorf("empty String = %q", l.String())
+	}
+	for _, v := range []int64{30, 10, 20} {
+		l.Add(v)
+	}
+	if mn, _ := l.Min(); mn != 10 {
+		t.Errorf("Min = %d", mn)
+	}
+	if mx, _ := l.Max(); mx != 30 {
+		t.Errorf("Max = %d", mx)
+	}
+	if avg, _ := l.Average(); avg != 20 {
+		t.Errorf("Average = %g", avg)
+	}
+	if l.Count() != 3 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if got := l.String(); got != "10/20/30" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b, empty Latency
+	a.Add(10)
+	a.Add(20)
+	b.Add(5)
+	b.Add(45)
+	a.Merge(b)
+	if mn, _ := a.Min(); mn != 5 {
+		t.Errorf("Min = %d", mn)
+	}
+	if mx, _ := a.Max(); mx != 45 {
+		t.Errorf("Max = %d", mx)
+	}
+	if avg, _ := a.Average(); avg != 20 {
+		t.Errorf("Average = %g", avg)
+	}
+	a.Merge(empty)
+	if a.Count() != 4 {
+		t.Error("merging an empty aggregate changed the count")
+	}
+	empty.Merge(a)
+	if empty.Count() != 4 {
+		t.Error("merging into an empty aggregate failed")
+	}
+}
+
+// Merging aggregates is equivalent to aggregating the concatenation.
+func TestQuickLatencyMergeEquivalence(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a, b, all Latency
+		for _, x := range xs {
+			a.Add(int64(x))
+			all.Add(int64(x))
+		}
+		for _, y := range ys {
+			b.Add(int64(y))
+			all.Add(int64(y))
+		}
+		a.Merge(b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		amn, _ := a.Min()
+		bmn, _ := all.Min()
+		amx, _ := a.Max()
+		bmx, _ := all.Max()
+		aavg, _ := a.Average()
+		bavg, _ := all.Average()
+		return amn == bmn && amx == bmx && aavg == bavg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package easig
+
+import (
+	"io"
+
+	"easig/internal/core"
+	"easig/internal/experiment"
+	"easig/internal/inject"
+	"easig/internal/physics"
+	"easig/internal/target"
+)
+
+// Reproduction entry points: the paper's case study and evaluation,
+// re-exported so the examples, tools and benchmarks drive everything
+// through the public package.
+
+// TestCase is one experiment input: aircraft mass and engagement
+// velocity.
+type TestCase = physics.TestCase
+
+// Grid returns an n x n test-case grid over the paper's mass and
+// velocity ranges; Grid(5) is the paper's 25-case set.
+func Grid(n int) []TestCase { return physics.Grid(n) }
+
+// Version selects which executable assertions are active in the
+// target software (the paper's eight versions).
+type Version = target.Version
+
+// The software versions of the paper's §3.4.
+const (
+	VersionAll  = target.VersionAll
+	VersionEA1  = target.VersionEA1
+	VersionEA2  = target.VersionEA2
+	VersionEA3  = target.VersionEA3
+	VersionEA4  = target.VersionEA4
+	VersionEA5  = target.VersionEA5
+	VersionEA6  = target.VersionEA6
+	VersionEA7  = target.VersionEA7
+	VersionNone = target.VersionNone
+)
+
+// Versions returns the paper's eight software versions.
+func Versions() []Version { return target.Versions() }
+
+// ArrestingSystem is the complete experiment target: environment
+// simulator, master node and slave node.
+type ArrestingSystem = target.System
+
+// ArrestingSystemConfig assembles an ArrestingSystem.
+type ArrestingSystemConfig = target.SystemConfig
+
+// NewArrestingSystem builds and boots a system for one run.
+func NewArrestingSystem(cfg ArrestingSystemConfig) (*ArrestingSystem, error) {
+	return target.NewSystem(cfg)
+}
+
+// InjectionError is one injectable bit-flip error.
+type InjectionError = inject.Error
+
+// InjectionPolicy is the time-triggered injection schedule.
+type InjectionPolicy = inject.Policy
+
+// RunConfig describes one fault-injection experiment run.
+type RunConfig = inject.RunConfig
+
+// RunResult is one run's readout record.
+type RunResult = inject.RunResult
+
+// Run executes one experiment run.
+func Run(cfg RunConfig) (RunResult, error) { return inject.Run(cfg) }
+
+// BuildE1 builds the paper's Table 6 error set (112 errors).
+func BuildE1() []InjectionError { return inject.BuildE1() }
+
+// BuildE2 builds a paper-style random error set (150 RAM + 50 stack at
+// default spec).
+func BuildE2(seed int64) []InjectionError {
+	return inject.BuildE2(inject.DefaultE2Spec(), seed)
+}
+
+// CampaignConfig parameterises a campaign; the zero value runs the
+// paper's full protocol.
+type CampaignConfig = experiment.Config
+
+// E1Result aggregates an E1 campaign (Tables 7 and 8).
+type E1Result = experiment.E1Result
+
+// E2Result aggregates an E2 campaign (Table 9).
+type E2Result = experiment.E2Result
+
+// RunE1 executes the E1 campaign (22 400 runs at full scale).
+func RunE1(cfg CampaignConfig) (*E1Result, error) { return experiment.RunE1(cfg) }
+
+// RunE2 executes the E2 campaign (5000 runs at full scale).
+func RunE2(cfg CampaignConfig) (*E2Result, error) { return experiment.RunE2(cfg) }
+
+// Table renderers for the paper's tables.
+var (
+	// Table4 renders the target signal classification.
+	Table4 = experiment.Table4
+	// Table6 renders the E1 error-set distribution.
+	Table6 = experiment.Table6
+	// Table7 renders E1 detection probabilities.
+	Table7 = experiment.Table7
+	// Table8 renders E1 detection latencies.
+	Table8 = experiment.Table8
+	// Table9 renders E2 results.
+	Table9 = experiment.Table9
+	// Figure2 renders the three continuous-signal example traces.
+	Figure2 = experiment.Figure2
+)
+
+// WriteJSON writes machine-readable campaign results (either argument
+// may be nil).
+func WriteJSON(w io.Writer, e1 *E1Result, e2 *E2Result) error {
+	return experiment.WriteJSON(w, e1, e2)
+}
+
+// DetectionBreakdown renders the per-constraint detection breakdown of
+// one E1 version (which Table 2/3 assertion kind fired).
+func DetectionBreakdown(e1 *E1Result, v Version) string {
+	return experiment.TestBreakdown(e1, v)
+}
+
+// ModelFit is the paper's §2.4 Pdetect model fitted from both
+// campaigns.
+type ModelFit = experiment.ModelFit
+
+// FitModel derives the §2.4 model (Pem, Pds, solved Pprop) from
+// campaign results.
+func FitModel(e1 *E1Result, e2 *E2Result) (ModelFit, error) {
+	return experiment.FitModel(e1, e2)
+}
+
+// VerifyNominal checks the §3.4 precondition: the fault-free grid is
+// detection- and failure-free for every version.
+func VerifyNominal(cfg CampaignConfig) error { return experiment.VerifyNominal(cfg) }
+
+// Placement selects consumer-side (paper) or producer-side assertion
+// execution for the pressure signals (ablation).
+type Placement = target.Placement
+
+// The placements.
+const (
+	PlacementConsumer = target.PlacementConsumer
+	PlacementProducer = target.PlacementProducer
+)
+
+// Headline carries the paper's headline numbers computed from campaign
+// results.
+type Headline = experiment.Headline
+
+// ComputeHeadline extracts the headline numbers from campaign results.
+func ComputeHeadline(e1 *E1Result, e2 *E2Result) Headline {
+	return experiment.ComputeHeadline(e1, e2)
+}
+
+// DetectionOnly is the campaign default policy: violations raise the
+// detection pin but leave state unrepaired, matching the paper's
+// observed failure rates under injection.
+func DetectionOnly() RecoveryPolicy { return core.NoRecovery{} }
