@@ -53,7 +53,7 @@ func BenchmarkAssertionDiscrete(b *testing.B) {
 	prev := int64(0)
 	for i := 0; i < b.N; i++ {
 		next := (prev + 1) % 7
-		easig.CheckDiscrete(&p, true, prev, next)
+		easig.CheckDiscrete(p, true, prev, next)
 		prev = next
 	}
 }

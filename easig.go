@@ -100,7 +100,9 @@ func NewDiscreteMonitor(name string, class Class, p Discrete, opts ...MonitorOpt
 }
 
 // NewDiscreteModes builds a monitor with one Pdisc per signal mode.
-func NewDiscreteModes(name string, class Class, modes map[int]*Discrete, opts ...MonitorOption) (*Monitor, error) {
+// Like every parameter-set entry point, it takes Pdisc by value: the
+// monitor copies the sets at construction time.
+func NewDiscreteModes(name string, class Class, modes map[int]Discrete, opts ...MonitorOption) (*Monitor, error) {
 	return core.NewDiscrete(name, class, modes, opts...)
 }
 
@@ -145,7 +147,7 @@ func CheckContinuous(p Continuous, prev, s int64) (TestID, bool) {
 func CheckBounds(p Continuous, s int64) (TestID, bool) { return core.CheckBounds(p, s) }
 
 // CheckDiscrete runs the Table 3 assertions statelessly.
-func CheckDiscrete(p *Discrete, sequential bool, prev, s int64) (TestID, bool) {
+func CheckDiscrete(p Discrete, sequential bool, prev, s int64) (TestID, bool) {
 	return core.CheckDiscrete(p, sequential, prev, s)
 }
 

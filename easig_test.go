@@ -72,7 +72,7 @@ func TestPublicStatelessChecks(t *testing.T) {
 		t.Error("CheckBounds rejected an in-bounds value")
 	}
 	d := easig.NewRandomDomain([]int64{1, 2})
-	if id, ok := easig.CheckDiscrete(&d, false, 1, 3); ok || id != easig.TestDomain {
+	if id, ok := easig.CheckDiscrete(d, false, 1, 3); ok || id != easig.TestDomain {
 		t.Errorf("CheckDiscrete = (%v, %v)", id, ok)
 	}
 }

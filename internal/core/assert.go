@@ -89,7 +89,7 @@ func CheckContinuous(p Continuous, prev, s int64) (TestID, bool) {
 
 // CheckDiscreteDomain runs the Table 3 domain assertion s ∈ D shared by
 // random and sequential discrete signals.
-func CheckDiscreteDomain(p *Discrete, s int64) (TestID, bool) {
+func CheckDiscreteDomain(p Discrete, s int64) (TestID, bool) {
 	if !p.Contains(s) {
 		return TestDomain, false
 	}
@@ -102,7 +102,7 @@ func CheckDiscreteDomain(p *Discrete, s int64) (TestID, bool) {
 // membership in T(s') implies membership in D; the domain test fires
 // first so the reported TestID identifies the strongest violated
 // property.
-func CheckDiscrete(p *Discrete, sequential bool, prev, s int64) (TestID, bool) {
+func CheckDiscrete(p Discrete, sequential bool, prev, s int64) (TestID, bool) {
 	if id, ok := CheckDiscreteDomain(p, s); !ok {
 		return id, false
 	}

@@ -145,7 +145,7 @@ func TestCheckDiscreteTable3(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			q := p // fresh copy so lazy indexes rebuild per case
-			id, ok := CheckDiscrete(&q, tt.sequential, tt.prev, tt.s)
+			id, ok := CheckDiscrete(q, tt.sequential, tt.prev, tt.s)
 			if ok != tt.ok || id != tt.wantID {
 				t.Fatalf("CheckDiscrete(seq=%v, %d, %d) = (%v, %v), want (%v, %v)",
 					tt.sequential, tt.prev, tt.s, id, ok, tt.wantID, tt.ok)
@@ -158,7 +158,7 @@ func TestCheckDiscreteTable3(t *testing.T) {
 // ("both tests are used nonetheless").
 func TestCheckDiscreteDomainFirst(t *testing.T) {
 	p := NewLinear([]int64{0, 1, 2}, true, false)
-	id, ok := CheckDiscrete(&p, true, 0, 7)
+	id, ok := CheckDiscrete(p, true, 0, 7)
 	if ok || id != TestDomain {
 		t.Fatalf("got (%v, %v), want (TestDomain, false)", id, ok)
 	}

@@ -58,13 +58,13 @@ func NewLinear(domain []int64, cyclic, allowStay bool) Discrete {
 		}
 		trans[d] = t
 	}
-	return Discrete{Domain: append([]int64(nil), domain...), Trans: trans}
+	return Discrete{Domain: append([]int64(nil), domain...), Trans: trans}.indexed()
 }
 
 // NewRandom builds the parameter set for a random discrete signal with
 // the given valid domain. Any transition inside the domain is legal.
 func NewRandom(domain []int64) Discrete {
-	return Discrete{Domain: append([]int64(nil), domain...)}
+	return Discrete{Domain: append([]int64(nil), domain...)}.indexed()
 }
 
 // Validate checks the legality of the parameter set for the given
@@ -104,27 +104,47 @@ func (p Discrete) Validate(class Class) error {
 }
 
 // Contains reports whether v is an element of the valid domain D.
-func (p *Discrete) Contains(v int64) bool {
-	if p.domainSet == nil {
-		p.index()
+// Parameter sets from the constructors (and those stored in monitors)
+// carry a lookup index; hand-built literals fall back to a linear scan.
+func (p Discrete) Contains(v int64) bool {
+	if p.domainSet != nil {
+		return p.domainSet[v]
 	}
-	return p.domainSet[v]
+	for _, d := range p.Domain {
+		if d == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Allows reports whether the transition from prev to v is an element of
 // T(prev). Unknown prev values (e.g. after corruption of the stored
 // previous value) allow no transitions.
-func (p *Discrete) Allows(prev, v int64) bool {
-	if p.transSet == nil {
-		p.index()
+func (p Discrete) Allows(prev, v int64) bool {
+	if p.transSet != nil {
+		t, ok := p.transSet[prev]
+		return ok && t[v]
 	}
-	t, ok := p.transSet[prev]
-	return ok && t[v]
+	t, ok := p.Trans[prev]
+	if !ok {
+		return false
+	}
+	for _, dst := range t {
+		if dst == v {
+			return true
+		}
+	}
+	return false
 }
 
-// index builds the lookup sets lazily. Discrete values are copied into
-// monitors once at configuration time, so the amortized cost is nil.
-func (p *Discrete) index() {
+// indexed returns a copy of p carrying the lookup sets. Constructors and
+// monitors call it once at configuration time, so the amortized cost of
+// the index is nil.
+func (p Discrete) indexed() Discrete {
+	if p.domainSet != nil {
+		return p
+	}
 	p.domainSet = make(map[int64]bool, len(p.Domain))
 	for _, d := range p.Domain {
 		p.domainSet[d] = true
@@ -137,6 +157,7 @@ func (p *Discrete) index() {
 		}
 		p.transSet[src] = set
 	}
+	return p
 }
 
 // String renders D and T(d) deterministically (sorted) for logs and

@@ -35,12 +35,9 @@ func (m *Monitor) UpdateContinuous(mode int, p Continuous) error {
 }
 
 // UpdateDiscrete replaces the parameter set of one mode at run time.
-func (m *Monitor) UpdateDiscrete(mode int, p *Discrete) error {
+func (m *Monitor) UpdateDiscrete(mode int, p Discrete) error {
 	if m.disc == nil {
 		return fmt.Errorf("core: monitor %q is not discrete", m.name)
-	}
-	if p == nil {
-		return fmt.Errorf("core: monitor %q: nil parameter set", m.name)
 	}
 	if _, ok := m.disc[mode]; !ok {
 		return fmt.Errorf("%w %d (monitor %q)", ErrUnknownMode, mode, m.name)
@@ -48,7 +45,7 @@ func (m *Monitor) UpdateDiscrete(mode int, p *Discrete) error {
 	if err := p.Validate(m.class); err != nil {
 		return fmt.Errorf("core: monitor %q mode %d: %w", m.name, mode, err)
 	}
-	m.disc[mode] = p
+	m.disc[mode] = p.indexed()
 	return nil
 }
 

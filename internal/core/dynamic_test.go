@@ -51,7 +51,7 @@ func TestUpdateDiscrete(t *testing.T) {
 	}
 	m.Test(0, 0)
 	wider := NewLinear([]int64{0, 1, 2, 3}, true, false)
-	if err := m.UpdateDiscrete(0, &wider); err != nil {
+	if err := m.UpdateDiscrete(0, wider); err != nil {
 		t.Fatal(err)
 	}
 	m.Test(1, 1)
@@ -59,12 +59,12 @@ func TestUpdateDiscrete(t *testing.T) {
 	if _, v := m.Test(3, 3); v != nil {
 		t.Fatalf("value legal under the updated domain flagged: %v", v)
 	}
-	if err := m.UpdateDiscrete(0, nil); err == nil {
-		t.Error("nil parameter set accepted")
+	if err := m.UpdateDiscrete(0, Discrete{}); err == nil {
+		t.Error("empty parameter set accepted")
 	}
 	cm, _ := NewContinuousSingle("c", ContinuousRandom,
 		Continuous{Min: 0, Max: 1, Incr: Rate{0, 1}, Decr: Rate{0, 1}})
-	if err := cm.UpdateDiscrete(0, &wider); err == nil {
+	if err := cm.UpdateDiscrete(0, wider); err == nil {
 		t.Error("discrete update on a continuous monitor accepted")
 	}
 }

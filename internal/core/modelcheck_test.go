@@ -186,13 +186,13 @@ func TestModelCheckDiscreteAgainstSets(t *testing.T) {
 			}
 			for prev := int64(-1); prev <= 6; prev++ {
 				for s := int64(-1); s <= 6; s++ {
-					_, got := CheckDiscrete(&p, true, prev, s)
+					_, got := CheckDiscrete(p, true, prev, s)
 					want := inDom[s] && inRel[[2]int64{prev, s}]
 					if got != want {
 						t.Fatalf("domain %v rel %v: prev=%d s=%d engine=%v reference=%v",
 							domain, rel, prev, s, got, want)
 					}
-					_, gotRandom := CheckDiscrete(&p, false, prev, s)
+					_, gotRandom := CheckDiscrete(p, false, prev, s)
 					if gotRandom != inDom[s] {
 						t.Fatalf("random: domain %v s=%d engine=%v want=%v",
 							domain, s, gotRandom, inDom[s])

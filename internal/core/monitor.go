@@ -39,7 +39,7 @@ type Monitor struct {
 	class Class
 
 	cont map[int]Continuous
-	disc map[int]*Discrete
+	disc map[int]Discrete
 
 	mode     int
 	prev     PrevStore
@@ -124,23 +124,23 @@ func NewContinuousSingle(name string, class Class, p Continuous, opts ...Monitor
 }
 
 // NewDiscrete builds a monitor for a discrete signal with one parameter
-// set per mode.
-func NewDiscrete(name string, class Class, modes map[int]*Discrete, opts ...MonitorOption) (*Monitor, error) {
+// set per mode. The sets are copied (and indexed for O(1) lookups), so
+// later changes to the caller's map do not affect the monitor.
+func NewDiscrete(name string, class Class, modes map[int]Discrete, opts ...MonitorOption) (*Monitor, error) {
 	if len(modes) == 0 {
 		return nil, ErrNoModes
 	}
+	store := make(map[int]Discrete, len(modes))
 	for mode, p := range modes {
-		if p == nil {
-			return nil, fmt.Errorf("core: monitor %q mode %d: nil parameter set", name, mode)
-		}
 		if err := p.Validate(class); err != nil {
 			return nil, fmt.Errorf("core: monitor %q mode %d: %w", name, mode, err)
 		}
+		store[mode] = p.indexed()
 	}
 	m := &Monitor{
 		name:     name,
 		class:    class,
-		disc:     modes,
+		disc:     store,
 		prev:     &fieldStore{},
 		recovery: PreviousValue{},
 	}
@@ -155,7 +155,7 @@ func NewDiscrete(name string, class Class, modes map[int]*Discrete, opts ...Moni
 
 // NewDiscreteSingle builds a single-mode discrete monitor.
 func NewDiscreteSingle(name string, class Class, p Discrete, opts ...MonitorOption) (*Monitor, error) {
-	return NewDiscrete(name, class, map[int]*Discrete{0: &p}, opts...)
+	return NewDiscrete(name, class, map[int]Discrete{0: p}, opts...)
 }
 
 // Name returns the monitored signal's name.

@@ -140,8 +140,8 @@ func TestMonitorConstructorErrors(t *testing.T) {
 	if _, err := NewContinuous("s", ContinuousRandom, good, WithInitialMode(2)); err != nil {
 		t.Errorf("explicit initial mode: %v", err)
 	}
-	if _, err := NewDiscrete("s", DiscreteRandom, map[int]*Discrete{0: nil}); err == nil {
-		t.Error("nil discrete parameter set accepted")
+	if _, err := NewDiscrete("s", DiscreteRandom, map[int]Discrete{0: {}}); err == nil {
+		t.Error("empty discrete parameter set accepted")
 	}
 	if _, err := NewDiscrete("s", DiscreteRandom, nil); !errors.Is(err, ErrNoModes) {
 		t.Errorf("empty discrete modes: %v, want ErrNoModes", err)

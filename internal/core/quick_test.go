@@ -173,7 +173,7 @@ func TestQuickTransitionImpliesDomain(t *testing.T) {
 			return false
 		}
 		// And the full Table 3 chain agrees with the primitives.
-		id, ok := CheckDiscrete(&p, true, prev, s)
+		id, ok := CheckDiscrete(p, true, prev, s)
 		if ok != (p.Contains(s) && p.Allows(prev, s)) {
 			return false
 		}

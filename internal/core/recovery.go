@@ -12,7 +12,7 @@ type RecoveryPolicy interface {
 	RecoverContinuous(v Violation, p Continuous) int64
 	// RecoverDiscrete returns the replacement value for a violated
 	// discrete signal.
-	RecoverDiscrete(v Violation, p *Discrete) int64
+	RecoverDiscrete(v Violation, p Discrete) int64
 }
 
 // NoRecovery leaves the offending value in place: errors are detected
@@ -28,7 +28,7 @@ func (NoRecovery) RecoverContinuous(v Violation, _ Continuous) int64 { return v.
 
 // RecoverDiscrete implements RecoveryPolicy by returning the offending
 // value unchanged.
-func (NoRecovery) RecoverDiscrete(v Violation, _ *Discrete) int64 { return v.Value }
+func (NoRecovery) RecoverDiscrete(v Violation, _ Discrete) int64 { return v.Value }
 
 // PreviousValue replaces the offending value with the last accepted
 // value s'. This is the most common low-cost recovery for periodically
@@ -49,7 +49,7 @@ func (PreviousValue) RecoverContinuous(v Violation, p Continuous) int64 {
 }
 
 // RecoverDiscrete implements RecoveryPolicy.
-func (PreviousValue) RecoverDiscrete(v Violation, p *Discrete) int64 {
+func (PreviousValue) RecoverDiscrete(v Violation, p Discrete) int64 {
 	if v.HasPrev && p.Contains(v.Prev) {
 		return v.Prev
 	}
@@ -85,7 +85,7 @@ func (Clamp) RecoverContinuous(v Violation, p Continuous) int64 {
 }
 
 // RecoverDiscrete implements RecoveryPolicy.
-func (Clamp) RecoverDiscrete(v Violation, p *Discrete) int64 {
+func (Clamp) RecoverDiscrete(v Violation, p Discrete) int64 {
 	return PreviousValue{}.RecoverDiscrete(v, p)
 }
 
@@ -103,4 +103,4 @@ var _ RecoveryPolicy = ResetTo{}
 func (r ResetTo) RecoverContinuous(Violation, Continuous) int64 { return r.Value }
 
 // RecoverDiscrete implements RecoveryPolicy.
-func (r ResetTo) RecoverDiscrete(Violation, *Discrete) int64 { return r.Value }
+func (r ResetTo) RecoverDiscrete(Violation, Discrete) int64 { return r.Value }

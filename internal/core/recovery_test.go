@@ -9,7 +9,7 @@ func TestNoRecovery(t *testing.T) {
 		t.Errorf("continuous = %d, want 99", got)
 	}
 	d := NewRandom([]int64{1, 2})
-	if got := (NoRecovery{}).RecoverDiscrete(v, &d); got != 99 {
+	if got := (NoRecovery{}).RecoverDiscrete(v, d); got != 99 {
 		t.Errorf("discrete = %d, want 99", got)
 	}
 }
@@ -30,16 +30,16 @@ func TestPreviousValueRecovery(t *testing.T) {
 	}
 
 	d := NewRandom([]int64{3, 4})
-	if got := (PreviousValue{}).RecoverDiscrete(primed, &d); got != 3 {
+	if got := (PreviousValue{}).RecoverDiscrete(primed, d); got != 3 {
 		// prev 5 is not in the domain, so the first domain value wins.
 		t.Errorf("discrete with out-of-domain prev = %d, want 3", got)
 	}
 	inDomain := Violation{Value: 99, Prev: 4, HasPrev: true}
-	if got := (PreviousValue{}).RecoverDiscrete(inDomain, &d); got != 4 {
+	if got := (PreviousValue{}).RecoverDiscrete(inDomain, d); got != 4 {
 		t.Errorf("discrete with in-domain prev = %d, want 4", got)
 	}
 	empty := Discrete{}
-	if got := (PreviousValue{}).RecoverDiscrete(Violation{Value: 9}, &empty); got != 9 {
+	if got := (PreviousValue{}).RecoverDiscrete(Violation{Value: 9}, empty); got != 9 {
 		t.Errorf("discrete with empty domain = %d, want offending value kept", got)
 	}
 }
@@ -61,7 +61,7 @@ func TestClampRecovery(t *testing.T) {
 		t.Errorf("rate violation unprimed = %d, want 8 (in bounds)", got)
 	}
 	d := NewRandom([]int64{1, 2})
-	if got := (Clamp{}).RecoverDiscrete(Violation{Value: 9, Prev: 2, HasPrev: true}, &d); got != 2 {
+	if got := (Clamp{}).RecoverDiscrete(Violation{Value: 9, Prev: 2, HasPrev: true}, d); got != 2 {
 		t.Errorf("discrete clamp = %d, want previous-value behaviour", got)
 	}
 }
@@ -72,7 +72,7 @@ func TestResetToRecovery(t *testing.T) {
 		t.Errorf("continuous = %d, want 7", got)
 	}
 	d := NewRandom([]int64{1, 2})
-	if got := r.RecoverDiscrete(Violation{Value: 99}, &d); got != 7 {
+	if got := r.RecoverDiscrete(Violation{Value: 99}, d); got != 7 {
 		t.Errorf("discrete = %d, want 7", got)
 	}
 }

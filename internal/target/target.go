@@ -1,0 +1,161 @@
+// Package target implements the experiment target of the paper's case
+// study (Figures 4-6): the control software of an aircraft arresting
+// system, instrumented with the executable assertions of Table 4.
+//
+// The system consists of two computer nodes — a master and a slave —
+// each controlling one tape drum of the arresting barrier. The master
+// measures the rotation sensor, computes the pressure set point with an
+// integer checkpoint control law, and sends the set point to the slave
+// over a serial link; both nodes regulate their drum's hydraulic valve
+// pressure against the set point. The software of one node is six
+// modules driven by a 1 ms interrupt through a seven-slot dispatcher:
+//
+//	CLOCK   every ms     millisecond counter and dispatcher slot number
+//	DIST_S  every ms     rotation-sensor sampling (master only)
+//	CALC    every ms     checkpoint sequencing, velocity estimation and
+//	                     the set-point control law (master only)
+//	PRES_S  slot 0       pressure-sensor sampling for the node's drum
+//	V_REG   slot 2       valve regulation: set point -> valve command
+//	PRES_A  slot 4       valve actuation (DAC write)
+//	(link)  slot 6       set-point transmission (master) — the slave
+//	                     instead latches the last received value each ms
+//
+// Every application variable lives in the node's simulated memory
+// (package memory): a 417-byte RAM region holding the seven monitored
+// signals, the assertions' previous-value words and the control state,
+// and a 1008-byte stack region holding the dispatcher frames, the
+// stack canaries and the CALC background-process locals. The fault
+// injector (package inject) flips bits in this memory, so errors
+// propagate through genuine data flow exactly as on the paper's
+// physical target: RAM errors are data errors that the assertions can
+// see, while most stack errors become control-flow errors (a corrupted
+// canary or frame halts the node) that signal-level assertions cannot
+// detect — the paper's key E2 finding.
+package target
+
+import "easig/internal/core"
+
+// Memory map of one node. The monitored signals occupy the first seven
+// words of the RAM region (inject.BuildE1 depends on this layout); the
+// assertion state and control-law state follow. The stack region holds
+// the canaries, the CALC locals and the dispatcher frame area.
+const (
+	// RegionRAM and RegionStack name the two memory regions in
+	// injection reports.
+	RegionRAM   = "ram"
+	RegionStack = "stack"
+
+	// RAMBase and RAMSize describe the application RAM region: 417
+	// bytes, as in the paper's Table 5.
+	RAMBase = 0x0100
+	RAMSize = 417
+
+	// StackBase and StackSize describe the stack region: 1008 bytes.
+	StackBase = 0x0400
+	StackSize = 1008
+)
+
+// RAM layout (all words, big-endian).
+const (
+	addrSignals   = RAMBase                    // 7 monitored signal words
+	addrPrevBase  = RAMBase + 2*NumEAs         // 7 assertion previous-value words
+	addrMassDial  = addrPrevBase + 2*NumEAs    // operator mass-dial setting (kg)
+	addrPulsRaw   = addrMassDial + 2           // last raw rotation-sensor sample
+	addrSetTarget = addrPulsRaw + 2            // control-law set-point target
+	addrSP        = addrSetTarget + 2          // dispatcher stack pointer
+	addrCkpt      = addrSP + 2                 // 6 checkpoint distances (dm)
+	ramUsedEnd    = addrCkpt + 2*numCheckpoint // first spare RAM byte
+)
+
+// Stack layout.
+const (
+	addrNodeCanary = StackBase     // dispatcher context canary
+	addrCalcCanary = StackBase + 2 // CALC background-process canary
+	addrPulsMark   = StackBase + 4 // CALC local: pulse count at window mark
+	addrMsCntMark  = StackBase + 6 // CALC local: mscnt at window mark
+	addrVEst       = StackBase + 8 // CALC local: estimated velocity (dm/s)
+	spInit         = StackBase + 16
+	bootFillFrom   = StackBase + 32 // below here: boot fill pattern
+
+	canaryMagic = 0x5A5A
+	frameMagic  = 0xC000 // dispatcher frame tag, low bits carry the slot
+	frameBytes  = 6
+	bootFill    = 0xA5
+)
+
+// Signal indices into SignalNames, SignalClasses, TestLocations and
+// Node monitors; EA number = index + 1.
+const (
+	sigSetValue = iota
+	sigIsValue
+	sigI
+	sigPulsCnt
+	sigMsSlotNbr
+	sigMsCnt
+	sigOutValue
+)
+
+// NumEAs is the number of executable assertions (and monitored
+// signals) of the paper's Table 4.
+const NumEAs = 7
+
+// Names of the monitored signals (Table 4).
+const (
+	SigSetValue  = "SetValue"
+	SigIsValue   = "IsValue"
+	SigI         = "i"
+	SigPulsCnt   = "pulscnt"
+	SigMsSlotNbr = "ms_slot_nbr"
+	SigMsCnt     = "mscnt"
+	SigOutValue  = "OutValue"
+)
+
+// SignalNames returns the monitored signal names in Table 4 order,
+// which is also their word order at the start of the RAM region.
+func SignalNames() []string {
+	return []string{SigSetValue, SigIsValue, SigI, SigPulsCnt, SigMsSlotNbr, SigMsCnt, SigOutValue}
+}
+
+// SignalClasses returns the Figure 1 classification of each monitored
+// signal, in SignalNames order.
+func SignalClasses() []core.Class {
+	return []core.Class{
+		core.ContinuousRandom,           // SetValue: pressure set point
+		core.ContinuousRandom,           // IsValue: measured pressure
+		core.DiscreteSequentialLinear,   // i: checkpoint counter
+		core.ContinuousMonotonicDynamic, // pulscnt: rotation pulse count
+		core.DiscreteSequentialLinear,   // ms_slot_nbr: dispatcher slot
+		core.ContinuousMonotonicStatic,  // mscnt: millisecond counter
+		core.ContinuousRandom,           // OutValue: valve command
+	}
+}
+
+// TestLocations returns the module that executes each assertion (the
+// consumer-side test locations of Table 4), in SignalNames order.
+func TestLocations() []string {
+	return []string{"V_REG", "V_REG", "CALC", "CALC", "CLOCK", "CALC", "PRES_A"}
+}
+
+// Placement selects where the assertions of the three produced-and-
+// consumed pressure signals (SetValue, IsValue, OutValue) execute.
+type Placement int
+
+const (
+	// PlacementConsumer tests a signal where it is used (the paper's
+	// Table 4 locations): SetValue and IsValue at V_REG, OutValue at
+	// PRES_A.
+	PlacementConsumer Placement = iota
+	// PlacementProducer tests a signal where it is written (ablation):
+	// SetValue at CALC, IsValue at PRES_S, OutValue at V_REG. A
+	// producer-side test runs right after the signal is recomputed, so
+	// corruption injected between production and use goes unseen.
+	PlacementProducer
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == PlacementProducer {
+		return "producer"
+	}
+	return "consumer"
+}

@@ -1,0 +1,59 @@
+package target
+
+import "fmt"
+
+// Version selects which executable assertions are compiled into the
+// target software: the paper's §3.4 evaluates each assertion alone
+// (EA1..EA7), all seven together ("All"), and the uninstrumented
+// software ("None") serves as the control.
+type Version int
+
+// The software versions.
+const (
+	// VersionAll enables all seven assertions (the paper's "All"
+	// version, also used for the E2 campaign).
+	VersionAll Version = 0
+	// VersionEA1..VersionEA7 enable a single assertion; VersionEA1+k-1
+	// equals Version(k).
+	VersionEA1 Version = 1
+	VersionEA2 Version = 2
+	VersionEA3 Version = 3
+	VersionEA4 Version = 4
+	VersionEA5 Version = 5
+	VersionEA6 Version = 6
+	VersionEA7 Version = 7
+	// VersionNone disables every assertion.
+	VersionNone Version = -1
+)
+
+// Versions returns the paper's eight evaluated software versions in
+// Table 7 column order: EA1..EA7, then All.
+func Versions() []Version {
+	return []Version{
+		VersionEA1, VersionEA2, VersionEA3, VersionEA4,
+		VersionEA5, VersionEA6, VersionEA7, VersionAll,
+	}
+}
+
+// Valid reports whether v names a buildable software version.
+func (v Version) Valid() bool { return v >= VersionNone && v <= VersionEA7 }
+
+// enables reports whether assertion ea (1-based) is active in this
+// version.
+func (v Version) enables(ea int) bool {
+	return v == VersionAll || int(v) == ea
+}
+
+// String renders the version as in the paper's tables.
+func (v Version) String() string {
+	switch {
+	case v == VersionAll:
+		return "All"
+	case v == VersionNone:
+		return "None"
+	case v >= VersionEA1 && v <= VersionEA7:
+		return fmt.Sprintf("EA%d", int(v))
+	default:
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+}

@@ -1,0 +1,92 @@
+package easig
+
+import (
+	"fmt"
+
+	"easig/internal/target"
+)
+
+// Minimal campaign surface for public-API users: the Table 4
+// instrumentation map as structured rows, and a nominal (fault-free)
+// smoke run — enough to exercise the reproduction without reaching into
+// internal packages. (Table4 renders the same rows as text.)
+
+// Table4Row is one row of the paper's Table 4: a monitored signal, its
+// Figure 1 classification and the module executing its assertion.
+type Table4Row struct {
+	// EA is the assertion number (1..7).
+	EA int
+	// Signal is the monitored 16-bit signal's name.
+	Signal string
+	// Class is the signal's classification.
+	Class Class
+	// TestLocation is the module that runs the assertion (the
+	// consumer-side placement of the paper).
+	TestLocation string
+}
+
+// Table4Rows returns the instrumentation map of the paper's Table 4 in
+// assertion order EA1..EA7.
+func Table4Rows() []Table4Row {
+	names := target.SignalNames()
+	classes := target.SignalClasses()
+	locs := target.TestLocations()
+	rows := make([]Table4Row, target.NumEAs)
+	for k := range rows {
+		rows[k] = Table4Row{EA: k + 1, Signal: names[k], Class: classes[k], TestLocation: locs[k]}
+	}
+	return rows
+}
+
+// NominalResult is the readout of one fault-free arrestment.
+type NominalResult struct {
+	// Stopped reports whether the aircraft came to a halt, and when.
+	Stopped   bool
+	StoppedMs int64
+	// Failed reports a violated arrestment constraint (§3.2).
+	Failed bool
+	// Detections counts assertion violations on the fully instrumented
+	// build; a nominal run must report zero.
+	Detections int
+	// DistanceM is the total travel; the runway allows 335 m.
+	DistanceM float64
+	// PeakRetardationMS2 is the maximum deceleration seen by the pilot.
+	PeakRetardationMS2 float64
+}
+
+// nominalObservationMs bounds a nominal smoke run; every test case of
+// the paper's grid stops well inside the 40 s observation window.
+const nominalObservationMs = 40000
+
+// RunNominal arrests one fault-free test case on the fully instrumented
+// target (VersionAll on both nodes) and reports the outcome. It is the
+// §3.4 preflight in miniature: a healthy reproduction stops inside the
+// runway with zero detections and zero failures.
+func RunNominal(tc TestCase) (NominalResult, error) {
+	rec := &Recorder{}
+	sys, err := NewArrestingSystem(ArrestingSystemConfig{
+		TestCase:  tc,
+		Version:   VersionAll,
+		Sink:      rec,
+		SlaveSink: rec,
+	})
+	if err != nil {
+		return NominalResult{}, fmt.Errorf("easig: nominal run: %w", err)
+	}
+	for ms := 0; ms < nominalObservationMs; ms++ {
+		sys.StepMs()
+		if _, stopped := sys.Env().Stopped(); stopped {
+			break
+		}
+	}
+	stopMs, stopped := sys.Env().Stopped()
+	_, failed := sys.Env().Failure()
+	return NominalResult{
+		Stopped:            stopped,
+		StoppedMs:          stopMs,
+		Failed:             failed,
+		Detections:         rec.Count(),
+		DistanceM:          sys.Env().Distance(),
+		PeakRetardationMS2: sys.Env().PeakRetardation(),
+	}, nil
+}

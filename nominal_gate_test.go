@@ -1,0 +1,74 @@
+package easig_test
+
+import (
+	"testing"
+
+	"easig"
+)
+
+// The §3.4 nominal gate: all 25 test cases of the paper's grid (mass
+// 8000..20000 kg x velocity 40..70 m/s) must complete fault-free — the
+// aircraft stops inside the runway with zero assertion violations and
+// zero arrestment failures on the fully instrumented build.
+func TestNominalGate25Cases(t *testing.T) {
+	cases := easig.Grid(5)
+	if len(cases) != 25 {
+		t.Fatalf("Grid(5) = %d cases, want 25", len(cases))
+	}
+	for _, tc := range cases {
+		res, err := easig.RunNominal(tc)
+		if err != nil {
+			t.Fatalf("%.0f kg at %.1f m/s: %v", tc.MassKg, tc.VelocityMS, err)
+		}
+		if !res.Stopped {
+			t.Errorf("%.0f kg at %.1f m/s: did not stop (%.1f m)", tc.MassKg, tc.VelocityMS, res.DistanceM)
+		}
+		if res.Failed {
+			t.Errorf("%.0f kg at %.1f m/s: arrestment failure", tc.MassKg, tc.VelocityMS)
+		}
+		if res.Detections != 0 {
+			t.Errorf("%.0f kg at %.1f m/s: %d false detections", tc.MassKg, tc.VelocityMS, res.Detections)
+		}
+		if res.DistanceM >= 335 {
+			t.Errorf("%.0f kg at %.1f m/s: overran the runway (%.1f m)", tc.MassKg, tc.VelocityMS, res.DistanceM)
+		}
+	}
+}
+
+// Scaled-down seeded E1 campaign: the counter signals must reproduce
+// the shape of the paper's Table 7 — pulscnt, ms_slot_nbr and mscnt are
+// detected for every injected bit position (≈100 % P(d)), while the
+// slew-limited pressure signals stay strictly partial.
+func TestScaledE1CounterCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled campaign in -short mode")
+	}
+	res, err := easig.RunE1(easig.CampaignConfig{
+		Grid:          2,
+		ObservationMs: 6000,
+		Seed:          7,
+		Versions:      []easig.Version{easig.VersionAll},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := easig.Table4Rows()
+	counters := map[string]bool{"pulscnt": true, "ms_slot_nbr": true, "mscnt": true}
+	for sig, row := range rows {
+		cov := res.Coverage[sig][0].All
+		if !cov.Valid() {
+			t.Fatalf("signal %s: no runs", row.Signal)
+		}
+		if counters[row.Signal] {
+			if cov.Detected != cov.Total {
+				t.Errorf("counter signal %s: P(d) = %d/%d, want 100%%", row.Signal, cov.Detected, cov.Total)
+			}
+		}
+	}
+	// The pressure set point is slew-limited: low-order bit errors hide
+	// below the rate constraints, so its coverage must be partial.
+	sv := res.Coverage[0][0].All
+	if sv.Detected == 0 || sv.Detected == sv.Total {
+		t.Errorf("SetValue: P(d) = %d/%d, want strictly partial", sv.Detected, sv.Total)
+	}
+}
