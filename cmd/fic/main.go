@@ -1,7 +1,9 @@
 // Command fic is the fault-injection campaign controller (the paper's
 // FIC3 analogue). It runs the paper's E1 and E2 campaigns and prints
 // the corresponding result tables, or prints the static tables and
-// figures.
+// figures. Campaigns can journal every run, render live progress, and
+// resume an interrupted campaign from its journal with byte-identical
+// tables (see ARCHITECTURE.md).
 //
 // Usage:
 //
@@ -13,16 +15,25 @@
 //	fic -recovery previous       # ablation: recovery repairs state
 //	fic -period 20 -start 500    # injection schedule (ms)
 //	fic -workers N -seed S
+//	fic -journal runs.jsonl      # record one JSONL line per completed run
+//	fic -resume runs.jsonl       # resume an interrupted campaign
+//	fic -progress                # periodic progress line on stderr
+//	fic -metrics                 # final JSON metrics block on stdout
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"easig"
 	"easig/internal/inject"
+	"easig/internal/journal"
 )
 
 func main() {
@@ -45,6 +56,10 @@ func run() error {
 		observe     = flag.Int64("observe", 40000, "observation period in ms")
 		verify      = flag.Bool("verify", false, "verify the fault-free grid is detection-free before running")
 		jsonPath    = flag.String("json", "", "also write machine-readable results to this file")
+		journalF    = flag.String("journal", "", "record every completed run to this JSONL journal")
+		resumeF     = flag.String("resume", "", "resume an interrupted campaign from its journal (keeps appending to it)")
+		progressF   = flag.Bool("progress", false, "render a periodic progress line on stderr")
+		metricsF    = flag.Bool("metrics", false, "print a final JSON metrics block (runs/sec, wall time, per-worker utilization)")
 	)
 	flag.Parse()
 
@@ -73,6 +88,11 @@ func run() error {
 		return fmt.Errorf("unknown -recovery %q (want none or previous)", *recovery)
 	}
 
+	// Ctrl-C cancels the campaign cleanly: in-flight runs finish, the
+	// journal keeps every completed run, and -resume picks up there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := easig.CampaignConfig{
 		Grid:          *grid,
 		Seed:          *seed,
@@ -80,6 +100,51 @@ func run() error {
 		Recovery:      rp,
 		ObservationMs: *observe,
 		Policy:        inject.Policy{StartMs: *start, PeriodMs: *period},
+		Context:       ctx,
+	}
+
+	if *journalF != "" && *resumeF != "" {
+		return fmt.Errorf("-journal and -resume are exclusive: a resumed campaign keeps appending to its own journal")
+	}
+	var jw *easig.JournalWriter
+	switch {
+	case *journalF != "":
+		w, err := easig.CreateJournal(*journalF)
+		if err != nil {
+			return err
+		}
+		jw = w
+	case *resumeF != "":
+		log, err := easig.LoadJournal(*resumeF)
+		if err != nil {
+			return err
+		}
+		w, err := easig.OpenJournal(*resumeF)
+		if err != nil {
+			return err
+		}
+		jw = w
+		cfg.Resume = log
+		fmt.Fprintf(os.Stderr, "fic: resuming from %s (%d journaled runs%s)\n",
+			*resumeF, len(log.Runs), map[bool]string{true: ", truncated tail dropped", false: ""}[log.Truncated])
+	}
+	if jw != nil {
+		cfg.Journal = jw
+		defer jw.Close()
+	}
+
+	if *progressF {
+		var last time.Time
+		cfg.Progress = func(ev easig.ProgressEvent) {
+			if time.Since(last) < time.Second && ev.Completed < ev.Total {
+				return
+			}
+			last = time.Now()
+			fmt.Fprintf(os.Stderr, "fic: %s %d/%d (%.1f%%) %.0f runs/s eta %s\n",
+				ev.Experiment, ev.Completed, ev.Total,
+				100*float64(ev.Completed)/float64(ev.Total),
+				ev.RunsPerSec, ev.ETA.Round(time.Second))
+		}
 	}
 
 	if *verify {
@@ -99,7 +164,7 @@ func run() error {
 		began := time.Now()
 		fmt.Fprintf(os.Stderr, "fic: running E1 (%d errors x %d cases x 8 versions)...\n", 112, *grid**grid)
 		if e1, err = easig.RunE1(cfg); err != nil {
-			return err
+			return campaignErr(err, jw, *journalF, *resumeF)
 		}
 		fmt.Fprintf(os.Stderr, "fic: E1 done: %d runs in %v\n", e1.Runs, time.Since(began).Round(time.Second))
 		fmt.Println(easig.Table6(*grid * *grid))
@@ -116,7 +181,7 @@ func run() error {
 		began := time.Now()
 		fmt.Fprintf(os.Stderr, "fic: running E2 (200 errors x %d cases)...\n", *grid**grid)
 		if e2, err = easig.RunE2(cfg); err != nil {
-			return err
+			return campaignErr(err, jw, *journalF, *resumeF)
 		}
 		fmt.Fprintf(os.Stderr, "fic: E2 done: %d runs in %v\n", e2.Runs, time.Since(began).Round(time.Second))
 		fmt.Println(easig.Table9(e2))
@@ -127,6 +192,18 @@ func run() error {
 	if e1 != nil && e2 != nil {
 		if fit, err := easig.FitModel(e1, e2); err == nil {
 			fmt.Println(fit)
+		}
+	}
+	if *metricsF {
+		var ms []easig.CampaignMetrics
+		if e1 != nil {
+			ms = append(ms, e1.Metrics)
+		}
+		if e2 != nil {
+			ms = append(ms, e2.Metrics)
+		}
+		if b, err := json.MarshalIndent(ms, "", "  "); err == nil {
+			fmt.Println(string(b))
 		}
 	}
 	if *jsonPath != "" && (e1 != nil || e2 != nil) {
@@ -140,5 +217,28 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "fic: wrote %s\n", *jsonPath)
 	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// campaignErr closes the journal so every completed run is on disk,
+// then decorates an interruption with the resume hint.
+func campaignErr(err error, jw *journal.Writer, journalPath, resumePath string) error {
+	path := journalPath
+	if path == "" {
+		path = resumePath
+	}
+	if jw != nil {
+		if cerr := jw.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	if errors.Is(err, context.Canceled) && path != "" {
+		return fmt.Errorf("%w\nfic: campaign interrupted; resume with: fic -resume %s <same flags>", err, path)
+	}
+	return err
 }

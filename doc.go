@@ -34,7 +34,11 @@
 // memory-mapped state in the paper's 417-byte RAM and 1008-byte stack
 // regions), the barrier/aircraft environment simulator, the SWIFI
 // campaign controller with error sets E1 and E2, and the harness
-// regenerating Tables 6-9 and Figure 2. See the cmd/fic and
-// cmd/arrest tools, the examples directory, and EXPERIMENTS.md for
-// paper-versus-measured results.
+// regenerating Tables 6-9 and Figure 2. Campaigns journal every run,
+// report live progress, and resume from their journal after an
+// interruption with byte-identical tables (CampaignConfig.Journal /
+// Resume / Progress). See the cmd/fic and cmd/arrest tools, the
+// examples directory, EXPERIMENTS.md for paper-versus-measured
+// results, and ARCHITECTURE.md for the package map, the run-loop data
+// flow and the determinism contract behind campaign resume.
 package easig

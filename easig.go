@@ -12,7 +12,7 @@ import (
 // scheme.
 type Class = core.Class
 
-// The six leaf classes of the classification scheme.
+// The six leaf classes of the paper's Figure 1 classification scheme.
 const (
 	ContinuousRandom            = core.ContinuousRandom
 	ContinuousMonotonicStatic   = core.ContinuousMonotonicStatic
@@ -29,13 +29,16 @@ func Classes() []Class { return core.Classes() }
 // ...).
 func ParseClass(s string) (Class, error) { return core.ParseClass(s) }
 
-// Rate bounds the per-test change magnitude in one direction.
+// Rate bounds the per-test change magnitude in one direction (the
+// rate-limit entries of the paper's Table 1 parameter sets).
 type Rate = core.Rate
 
-// Continuous is the parameter set Pcont for continuous signals.
+// Continuous is the parameter set Pcont for continuous signals (paper
+// Table 1).
 type Continuous = core.Continuous
 
-// Discrete is the parameter set Pdisc for discrete signals.
+// Discrete is the parameter set Pdisc for discrete signals (paper
+// Table 1).
 type Discrete = core.Discrete
 
 // NewLinear builds the Pdisc of a linear sequential signal traversing
@@ -50,7 +53,8 @@ func NewRandomDomain(domain []int64) Discrete { return core.NewRandom(domain) }
 // TestID identifies which assertion of Tables 2/3 a signal failed.
 type TestID = core.TestID
 
-// The assertion identifiers.
+// The assertion identifiers: value bounds, rate windows and wrap-around
+// (paper Table 2); domain membership and transition legality (Table 3).
 const (
 	TestMax        = core.TestMax
 	TestMin        = core.TestMin
@@ -61,10 +65,13 @@ const (
 	TestTransition = core.TestTransition
 )
 
-// Violation describes a detected data error.
+// Violation describes a detected data error: which signal failed which
+// Table 2/3 assertion, when, and with what value.
 type Violation = core.Violation
 
-// Monitor is a stateful executable-assertion tester for one signal.
+// Monitor is a stateful executable-assertion tester for one signal: the
+// unit the paper instruments into the target software at each Table 4
+// test location.
 type Monitor = core.Monitor
 
 // MonitorOption configures a Monitor.
@@ -83,18 +90,19 @@ var (
 )
 
 // NewContinuousMonitor builds a single-mode monitor for a continuous
-// signal.
+// signal, running the paper's Table 2 assertions.
 func NewContinuousMonitor(name string, class Class, p Continuous, opts ...MonitorOption) (*Monitor, error) {
 	return core.NewContinuousSingle(name, class, p, opts...)
 }
 
-// NewContinuousModes builds a monitor with one Pcont per signal mode.
+// NewContinuousModes builds a monitor with one Pcont per signal mode
+// (the paper's §2.1 mode-dependent parameter sets).
 func NewContinuousModes(name string, class Class, modes map[int]Continuous, opts ...MonitorOption) (*Monitor, error) {
 	return core.NewContinuous(name, class, modes, opts...)
 }
 
 // NewDiscreteMonitor builds a single-mode monitor for a discrete
-// signal.
+// signal, running the paper's Table 3 assertions.
 func NewDiscreteMonitor(name string, class Class, p Discrete, opts ...MonitorOption) (*Monitor, error) {
 	return core.NewDiscreteSingle(name, class, p, opts...)
 }
@@ -119,7 +127,9 @@ type Recorder = core.Recorder
 // MultiSink fans violations out to several sinks.
 func MultiSink(sinks ...DetectionSink) DetectionSink { return core.MultiSink(sinks...) }
 
-// RecoveryPolicy decides the replacement value after a violation.
+// RecoveryPolicy decides the replacement value after a violation (the
+// paper's "the signal can be returned to a valid state"; the §3.4
+// campaigns run detection-only, see DetectionOnly).
 type RecoveryPolicy = core.RecoveryPolicy
 
 // Recovery policies.
@@ -166,7 +176,8 @@ type DiscreteCalibrator = core.DiscreteCalibrator
 type EnvelopeTracker = core.EnvelopeTracker
 
 // Suite manages a set of monitors with shared detection accounting
-// and a windowed escalation policy (the paper's assessment stage).
+// and a windowed escalation policy (the paper's assessment stage,
+// feeding the target's detection pin).
 type Suite = core.Suite
 
 // Alarm describes one escalation episode raised by a Suite.

@@ -2,19 +2,34 @@
 // error-injection campaigns (§3.4), the coverage and latency tables
 // (Tables 6-9) and the Figure 2 example traces. Campaigns are
 // deterministic functions of their seed and run in parallel across a
-// worker pool.
+// worker pool; they can journal every run, report live progress, and
+// resume an interrupted campaign from its journal with byte-identical
+// tables (see internal/journal and ARCHITECTURE.md).
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"easig/internal/core"
 	"easig/internal/inject"
+	"easig/internal/journal"
 	"easig/internal/physics"
 	"easig/internal/stats"
 	"easig/internal/target"
+)
+
+// Experiment names used in journal headers, records and progress
+// events: the paper's two §3.4 error-injection campaigns.
+const (
+	// ExperimentE1 is the single-bit error set over monitored signals
+	// (Tables 7 and 8).
+	ExperimentE1 = "E1"
+	// ExperimentE2 is the random RAM/stack error set (Table 9).
+	ExperimentE2 = "E2"
 )
 
 // Config parameterises a campaign. The zero value runs the paper's
@@ -43,6 +58,27 @@ type Config struct {
 	// Placement selects consumer-side (paper) or producer-side
 	// assertion execution (ablation).
 	Placement target.Placement
+	// Context, when non-nil, cancels an in-flight campaign: workers
+	// stop promptly, the journal keeps every completed run, and the
+	// campaign returns the context's error.
+	Context context.Context
+	// Journal, when non-nil, receives one record per completed run
+	// (run coordinates, derived seed, detected/failed/latency/ByTest),
+	// appended by the journal's writer goroutine. An interrupted
+	// campaign can later be resumed from the file via Resume.
+	Journal *journal.Writer
+	// Resume, when non-nil, replays the loaded journal's outcomes
+	// straight into the aggregators and dispatches only the missing
+	// runs. Because per-run seeds are deterministic functions of the
+	// campaign seed and run coordinates (see runSeed), a resumed
+	// campaign reproduces the uninterrupted campaign's tables byte for
+	// byte; a journal recorded under a different configuration is
+	// rejected.
+	Resume *journal.Log
+	// Progress, when non-nil, is called from the collector goroutine
+	// after every completed or replayed run with throughput,
+	// completed/total and ETA.
+	Progress func(journal.ProgressEvent)
 }
 
 func (c Config) withDefaults() Config {
@@ -98,23 +134,132 @@ type outcome struct {
 	res inject.RunResult
 }
 
-// runAll executes the jobs across the pool and streams outcomes to
-// collect (called from a single goroutine).
-func runAll(cfg Config, jobs []job, collect func(outcome)) error {
+// record converts one live outcome into its journal form.
+func record(exp string, o outcome, seed int64) journal.Record {
+	rec := journal.Record{
+		Experiment: exp,
+		Version:    int(o.job.version),
+		ErrIdx:     o.job.errIdx,
+		ErrID:      o.job.err.ID,
+		CaseIdx:    o.job.caseIdx,
+		Seed:       seed,
+		Detected:   o.res.Detected,
+		Failed:     o.res.Failed,
+		LatencyMs:  o.res.LatencyMs,
+	}
+	if len(o.res.ByTest) > 0 {
+		rec.ByTest = make(map[int]int, len(o.res.ByTest))
+		for id, n := range o.res.ByTest {
+			rec.ByTest[int(id)] = n
+		}
+	}
+	return rec
+}
+
+// replayed converts a journaled record back into the outcome the
+// aggregators would have collected live. Only the aggregated fields
+// (detected/failed/latency/ByTest) round-trip; plant readouts do not,
+// which is fine because no table consumes them.
+func replayed(j job, rec journal.Record) outcome {
+	res := inject.RunResult{
+		Detected:  rec.Detected,
+		Failed:    rec.Failed,
+		LatencyMs: rec.LatencyMs,
+	}
+	if len(rec.ByTest) > 0 {
+		res.ByTest = make(map[core.TestID]int, len(rec.ByTest))
+		for id, n := range rec.ByTest {
+			res.ByTest[core.TestID(id)] = n
+		}
+	}
+	return outcome{job: j, res: res}
+}
+
+// partition splits the campaign jobs into journaled outcomes (to be
+// replayed straight into the aggregators) and live jobs still to
+// dispatch. It enforces the resume soundness checks: the journal's
+// header must match the live configuration, and every replayed record's
+// stored seed must equal the seed re-derived from the run coordinates.
+func partition(cfg Config, exp string, jobs []job) (live []job, replay []outcome, err error) {
+	if cfg.Resume == nil {
+		return jobs, nil, nil
+	}
+	if h, ok := cfg.Resume.Header(exp); ok {
+		if h.Seed != cfg.Seed || h.Grid != cfg.Grid {
+			return nil, nil, fmt.Errorf("experiment: journal was recorded for %s seed %d grid %d, not seed %d grid %d",
+				exp, h.Seed, h.Grid, cfg.Seed, cfg.Grid)
+		}
+	}
+	byKey := cfg.Resume.Lookup(exp)
+	if len(byKey) == 0 {
+		return jobs, nil, nil
+	}
+	for _, j := range jobs {
+		rec, ok := byKey[journal.Key{Version: int(j.version), ErrIdx: j.errIdx, CaseIdx: j.caseIdx}]
+		if !ok {
+			live = append(live, j)
+			continue
+		}
+		if want := runSeed(cfg.Seed, j.version, j.errIdx, j.caseIdx); rec.Seed != want {
+			return nil, nil, fmt.Errorf("experiment: journaled %s run %s case %d has seed %d, want %d — journal is from a different campaign",
+				exp, j.err.ID, j.caseIdx, rec.Seed, want)
+		}
+		replay = append(replay, replayed(j, rec))
+	}
+	return live, replay, nil
+}
+
+// runAll executes the live jobs across the pool and streams outcomes to
+// collect (called from a single goroutine, which also feeds the journal
+// writer and the progress hook). The first worker error cancels the
+// remaining workers via the run context, so a failing campaign stops
+// promptly and the journal records a clean interruption point; the
+// parent cfg.Context cancels the same way. The returned metrics cover
+// the live runs (resumed only sizes the progress totals).
+func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcome)) (journal.Metrics, error) {
+	parent := cfg.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	total := resumed + len(jobs)
+	if cfg.Journal != nil {
+		if err := cfg.Journal.Header(journal.Header{
+			Experiment: exp,
+			Seed:       cfg.Seed,
+			Grid:       cfg.Grid,
+			Total:      total,
+		}); err != nil {
+			return journal.Metrics{}, err
+		}
+	}
+
 	in := make(chan job)
 	out := make(chan outcome)
-	errCh := make(chan error, cfg.Workers)
+	errCh := make(chan error, 1)
+	busy := make([]time.Duration, cfg.Workers)
+	runs := make([]int, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			failed := false
-			for j := range in {
-				if failed {
-					continue // drain remaining jobs after a failure
+			for {
+				var j job
+				var ok bool
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok = <-in:
+					if !ok {
+						return
+					}
 				}
 				e := j.err
+				began := time.Now()
 				res, err := inject.Run(inject.RunConfig{
 					TestCase:      j.tc,
 					Version:       j.version,
@@ -125,31 +270,95 @@ func runAll(cfg Config, jobs []job, collect func(outcome)) error {
 					Recovery:      cfg.Recovery,
 					Placement:     cfg.Placement,
 				})
+				busy[w] += time.Since(began)
 				if err != nil {
-					errCh <- err
-					failed = true
-					continue
+					select {
+					case errCh <- err:
+					default:
+					}
+					cancel()
+					return
 				}
-				out <- outcome{job: j, res: res}
+				runs[w]++
+				select {
+				case out <- outcome{job: j, res: res}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 	go func() {
+		defer close(in)
 		for _, j := range jobs {
-			in <- j
+			select {
+			case in <- j:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(in)
+	}()
+	go func() {
 		wg.Wait()
 		close(out)
 	}()
+
+	start := time.Now()
+	completed := resumed
+	var journalErr error
 	for o := range out {
 		collect(o)
+		completed++
+		if cfg.Journal != nil && journalErr == nil {
+			seed := runSeed(cfg.Seed, o.job.version, o.job.errIdx, o.job.caseIdx)
+			if err := cfg.Journal.Run(record(exp, o, seed)); err != nil {
+				journalErr = err
+				cancel()
+			}
+		}
+		if cfg.Progress != nil {
+			ev := journal.ProgressEvent{
+				Experiment: exp,
+				Completed:  completed,
+				Resumed:    resumed,
+				Total:      total,
+				Elapsed:    time.Since(start),
+			}
+			if live := completed - resumed; ev.Elapsed > 0 && live > 0 {
+				ev.RunsPerSec = float64(live) / ev.Elapsed.Seconds()
+				ev.ETA = time.Duration(float64(total-completed) / ev.RunsPerSec * float64(time.Second))
+			}
+			cfg.Progress(ev)
+		}
 	}
-	select {
-	case err := <-errCh:
-		return fmt.Errorf("experiment: run failed: %w", err)
+
+	wall := time.Since(start)
+	metrics := journal.Metrics{
+		Experiment: exp,
+		Runs:       completed - resumed,
+		Resumed:    resumed,
+		WallMs:     wall.Milliseconds(),
+	}
+	if wall > 0 {
+		metrics.RunsPerSec = float64(metrics.Runs) / wall.Seconds()
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wm := journal.WorkerMetrics{Worker: w, Runs: runs[w], BusyMs: busy[w].Milliseconds()}
+		if wall > 0 {
+			wm.Utilization = float64(busy[w]) / float64(wall)
+		}
+		metrics.Workers = append(metrics.Workers, wm)
+	}
+
+	switch {
+	case journalErr != nil:
+		return metrics, journalErr
+	case len(errCh) > 0:
+		return metrics, fmt.Errorf("experiment: run failed: %w", <-errCh)
+	case parent.Err() != nil:
+		return metrics, fmt.Errorf("experiment: campaign interrupted: %w", parent.Err())
 	default:
-		return nil
+		return metrics, nil
 	}
 }
 
@@ -168,8 +377,11 @@ type E1Result struct {
 	// violated assertion kind (which Table 2/3 constraint fired),
 	// aggregated over all runs of that version.
 	ByTest []map[core.TestID]int
-	// Runs is the number of executed runs.
+	// Runs is the number of collected runs (live plus replayed).
 	Runs int
+	// Metrics summarizes the campaign's execution (throughput, wall
+	// time, per-worker utilization).
+	Metrics journal.Metrics
 }
 
 // versionIndex returns the column of v in r.Versions.
@@ -226,7 +438,7 @@ func RunE1(cfg Config) (*E1Result, error) {
 			}
 		}
 	}
-	err := runAll(cfg, jobs, func(o outcome) {
+	collect := func(o outcome) {
 		vi := res.versionIndex(o.job.version)
 		sig := o.job.err.SignalIdx
 		res.Coverage[sig][vi].Add(o.res.Detected, o.res.Failed)
@@ -237,7 +449,15 @@ func RunE1(cfg Config) (*E1Result, error) {
 			res.ByTest[vi][id] += n
 		}
 		res.Runs++
-	})
+	}
+	live, replay, err := partition(cfg, ExperimentE1, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range replay {
+		collect(o)
+	}
+	res.Metrics, err = runAll(cfg, ExperimentE1, live, len(replay), collect)
 	if err != nil {
 		return nil, err
 	}
@@ -255,8 +475,11 @@ type E2Result struct {
 	// LatencyFail maps region name to the latency over detections in
 	// failing runs.
 	LatencyFail map[string]*stats.Latency
-	// Runs is the number of executed runs.
+	// Runs is the number of collected runs (live plus replayed).
 	Runs int
+	// Metrics summarizes the campaign's execution (throughput, wall
+	// time, per-worker utilization).
+	Metrics journal.Metrics
 }
 
 // Total folds the regions into the Table 9 "Total" row.
@@ -298,7 +521,7 @@ func RunE2(cfg Config) (*E2Result, error) {
 			jobs = append(jobs, job{version: target.VersionAll, errIdx: ei, err: e, caseIdx: ci, tc: tc})
 		}
 	}
-	err := runAll(cfg, jobs, func(o outcome) {
+	collect := func(o outcome) {
 		region := o.job.err.Region
 		res.Coverage[region].Add(o.res.Detected, o.res.Failed)
 		if o.res.Detected {
@@ -308,7 +531,15 @@ func RunE2(cfg Config) (*E2Result, error) {
 			}
 		}
 		res.Runs++
-	})
+	}
+	live, replay, err := partition(cfg, ExperimentE2, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range replay {
+		collect(o)
+	}
+	res.Metrics, err = runAll(cfg, ExperimentE2, live, len(replay), collect)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,268 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"easig/internal/inject"
+	"easig/internal/journal"
+	"easig/internal/physics"
+	"easig/internal/target"
+)
+
+// resumeTestConfig is a scaled E1/E2 campaign small enough for CI but
+// large enough that an interruption partway leaves both journaled and
+// missing runs.
+func resumeTestConfig(seed int64) Config {
+	return Config{
+		Grid:          2,
+		ObservationMs: 1500,
+		Seed:          seed,
+		Workers:       4,
+		Versions:      []target.Version{target.VersionAll, target.VersionEA4},
+		E2:            inject.E2Spec{RAM: 8, Stack: 4},
+	}
+}
+
+func TestE1InterruptResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scaled campaign three times")
+	}
+	const seed = 424242
+	path := filepath.Join(t.TempDir(), "e1.jsonl")
+
+	// Baseline: the uninterrupted campaign.
+	baseline, err := RunE1(resumeTestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT7, wantT8 := Table7(baseline), Table8(baseline)
+
+	// Interrupted: cancel partway through via the context path, with
+	// every completed run journaled.
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := resumeTestConfig(seed)
+	cfg.Context = ctx
+	cfg.Journal = w
+	stopAfter := baseline.Runs / 3
+	var completed atomic.Int64
+	cfg.Progress = func(ev journal.ProgressEvent) {
+		if completed.Add(1) == int64(stopAfter) {
+			cancel()
+		}
+	}
+	if _, err := RunE1(cfg); err == nil {
+		t.Fatal("interrupted campaign returned no error")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign error = %v, want context.Canceled", err)
+	}
+	cancel()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := journal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.Runs); n == 0 || n >= baseline.Runs {
+		t.Fatalf("journal holds %d runs, want a strict partial campaign of %d", n, baseline.Runs)
+	}
+	if h, ok := log.Header(ExperimentE1); !ok || h.Total != baseline.Runs {
+		t.Fatalf("journal header = %+v ok=%v, want total %d", h, ok, baseline.Runs)
+	}
+
+	// Resumed: replay the journal, dispatch only the missing runs.
+	w2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = resumeTestConfig(seed)
+	cfg.Resume = log
+	cfg.Journal = w2
+	resumed, err := RunE1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Runs != baseline.Runs {
+		t.Fatalf("resumed campaign collected %d runs, want %d", resumed.Runs, baseline.Runs)
+	}
+	if resumed.Metrics.Resumed != len(log.Runs) {
+		t.Errorf("metrics report %d resumed runs, journal holds %d", resumed.Metrics.Resumed, len(log.Runs))
+	}
+	if resumed.Metrics.Runs != baseline.Runs-len(log.Runs) {
+		t.Errorf("metrics report %d live runs, want %d", resumed.Metrics.Runs, baseline.Runs-len(log.Runs))
+	}
+	if got := Table7(resumed); got != wantT7 {
+		t.Errorf("resumed Table 7 differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", wantT7, got)
+	}
+	if got := Table8(resumed); got != wantT8 {
+		t.Errorf("resumed Table 8 differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", wantT8, got)
+	}
+
+	// The journal now holds the complete campaign: a second resume
+	// replays everything and executes nothing.
+	log, err = journal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = resumeTestConfig(seed)
+	cfg.Resume = log
+	full, err := RunE1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Metrics.Runs != 0 || full.Metrics.Resumed != baseline.Runs {
+		t.Errorf("complete journal still executed %d live runs (resumed %d)", full.Metrics.Runs, full.Metrics.Resumed)
+	}
+	if got := Table7(full); got != wantT7 {
+		t.Error("fully replayed Table 7 differs from uninterrupted run")
+	}
+}
+
+func TestE2ResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scaled campaign twice")
+	}
+	const seed = 99
+	path := filepath.Join(t.TempDir(), "e2.jsonl")
+
+	baseline, err := RunE2(resumeTestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT9 := Table9(baseline)
+
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := resumeTestConfig(seed)
+	cfg.Context = ctx
+	cfg.Journal = w
+	var completed atomic.Int64
+	cfg.Progress = func(journal.ProgressEvent) {
+		if completed.Add(1) == int64(baseline.Runs/2) {
+			cancel()
+		}
+	}
+	if _, err := RunE2(cfg); err == nil {
+		t.Fatal("interrupted campaign returned no error")
+	}
+	cancel()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := journal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = resumeTestConfig(seed)
+	cfg.Resume = log
+	resumed, err := RunE2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Runs != baseline.Runs {
+		t.Fatalf("resumed campaign collected %d runs, want %d", resumed.Runs, baseline.Runs)
+	}
+	if got := Table9(resumed); got != wantT9 {
+		t.Errorf("resumed Table 9 differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", wantT9, got)
+	}
+}
+
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e1.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeTestConfig(1)
+	cfg.Versions = []target.Version{target.VersionEA4}
+	cfg.Grid = 1
+	cfg.Journal = w
+	if _, err := RunE1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := journal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same shape, different campaign seed: the header check rejects it.
+	bad := cfg
+	bad.Journal = nil
+	bad.Seed = 2
+	bad.Resume = log
+	if _, err := RunE1(bad); err == nil {
+		t.Error("journal from a different seed accepted")
+	} else if !strings.Contains(err.Error(), "seed") {
+		t.Errorf("unhelpful mismatch error: %v", err)
+	}
+}
+
+// TestRunAllCancelsOnWorkerError checks the failure path of the worker
+// pool: one failing run must cancel the remaining workers promptly (no
+// draining of the full grid) and surface the first error.
+func TestRunAllCancelsOnWorkerError(t *testing.T) {
+	cases := physics.Grid(2)
+	bad := inject.Error{ID: "BAD", SignalIdx: -1, Region: target.RegionRAM, Addr: 0x0000, Bit: 0}
+	good := inject.BuildE1()[0]
+	var jobs []job
+	jobs = append(jobs, job{version: target.VersionAll, errIdx: 0, err: bad, caseIdx: 0, tc: cases[0]})
+	for i := 0; i < 400; i++ {
+		jobs = append(jobs, job{version: target.VersionAll, errIdx: i + 1, err: good, caseIdx: 0, tc: cases[0]})
+	}
+	cfg := Config{
+		Grid:          2,
+		ObservationMs: 100,
+		Policy:        inject.Policy{StartMs: 1, PeriodMs: 20},
+		Seed:          7,
+		Workers:       4,
+	}.withDefaults()
+
+	collected := 0
+	_, err := runAll(cfg, ExperimentE1, jobs, 0, func(outcome) { collected++ })
+	if err == nil {
+		t.Fatal("worker error not surfaced")
+	}
+	if !strings.Contains(err.Error(), "run failed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The bad job fails on its first injection, long before the pool
+	// could have drained 400 further jobs; cancellation must stop the
+	// grid well short of completion.
+	if collected >= len(jobs)/2 {
+		t.Errorf("collected %d of %d outcomes after a failing run — workers drained instead of canceling", collected, len(jobs))
+	}
+}
+
+// TestRunAllParentContext checks that a canceled parent context stops a
+// campaign and is reported as an interruption, not a run failure.
+func TestRunAllParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := resumeTestConfig(1)
+	cfg.Context = ctx
+	if _, err := RunE1(cfg); err == nil {
+		t.Fatal("pre-canceled context ran the campaign")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+}

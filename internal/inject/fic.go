@@ -102,6 +102,8 @@ type pinSink struct {
 	byTest   map[core.TestID]int
 }
 
+// Detect implements core.DetectionSink: it timestamps the first rising
+// edge of the pin and accumulates the per-constraint counts.
 func (p *pinSink) Detect(v core.Violation) {
 	if !p.hasFirst {
 		p.first = v.Time

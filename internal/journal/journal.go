@@ -1,0 +1,189 @@
+// Package journal implements the campaign run journal: the per-run
+// result database that makes the paper's 27 400-run protocol (§3.4)
+// observable and resumable.
+//
+// A journal is an append-only JSONL file. The first line of each
+// campaign is a header naming the experiment, the campaign seed and the
+// grid; every completed run then appends one Record carrying the run
+// coordinates (version, error index, test-case index), the derived
+// per-run seed and the readouts the campaign aggregators consume
+// (detected / failed / latency / per-assertion breakdown). Records are
+// written unbuffered by a single writer goroutine, so a killed campaign
+// leaves at most one truncated trailing line — which Load tolerates.
+//
+// Resume soundness rests on the determinism contract documented in
+// ARCHITECTURE.md: every per-run seed is a pure function of the
+// campaign seed and the run coordinates, so a journaled outcome can be
+// replayed into the aggregators instead of re-executing the run, and an
+// interrupted-then-resumed campaign reproduces the uninterrupted
+// campaign's Tables 7-9 byte for byte. Each Record stores its seed so a
+// resume against a different campaign configuration is detected instead
+// of silently polluting the tables.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Line kinds distinguishing the journal's JSONL record types.
+const (
+	// KindHeader marks a campaign header line.
+	KindHeader = "header"
+	// KindRun marks a completed-run record line.
+	KindRun = "run"
+)
+
+// Header is the campaign identification line written when a campaign
+// starts (and again when it is resumed). On resume it is checked
+// against the live configuration before any record is replayed.
+type Header struct {
+	// Kind is KindHeader.
+	Kind string `json:"kind"`
+	// Experiment names the campaign ("E1" or "E2", the paper's §3.4
+	// error sets).
+	Experiment string `json:"experiment"`
+	// Seed is the campaign seed every per-run seed derives from.
+	Seed int64 `json:"seed"`
+	// Grid is the test-case grid edge (5 = the paper's 25 cases).
+	Grid int `json:"grid"`
+	// Total is the campaign's total run count at this configuration.
+	Total int `json:"total_runs"`
+}
+
+// Record is one completed run: its coordinates in the campaign grid,
+// the derived seed, and the readouts the Table 7-9 aggregators consume.
+type Record struct {
+	// Kind is KindRun.
+	Kind string `json:"kind"`
+	// Experiment names the campaign the run belongs to.
+	Experiment string `json:"experiment"`
+	// Version is the software version coordinate (target.Version).
+	Version int `json:"version"`
+	// ErrIdx is the error's index in the campaign error set.
+	ErrIdx int `json:"err_idx"`
+	// ErrID is the error's campaign identifier (e.g. "S17", "R42").
+	ErrID string `json:"err_id,omitempty"`
+	// CaseIdx is the test case's index in the campaign grid.
+	CaseIdx int `json:"case_idx"`
+	// Seed is the derived per-run seed; on resume it must equal the
+	// seed re-derived from the live configuration.
+	Seed int64 `json:"seed"`
+	// Detected reports at least one assertion detection in the run.
+	Detected bool `json:"detected,omitempty"`
+	// Failed reports a violated arrestment constraint (§3.2).
+	Failed bool `json:"failed,omitempty"`
+	// LatencyMs is the detection latency when Detected.
+	LatencyMs int64 `json:"latency_ms,omitempty"`
+	// ByTest counts violations per assertion kind (core.TestID keys,
+	// the Table 2/3 constraint that fired).
+	ByTest map[int]int `json:"by_test,omitempty"`
+}
+
+// Key locates one run inside a campaign: the coordinates that, together
+// with the campaign seed, determine the run completely.
+type Key struct {
+	// Version, ErrIdx and CaseIdx are the Record coordinates.
+	Version, ErrIdx, CaseIdx int
+}
+
+// Key returns the record's campaign coordinates.
+func (r Record) Key() Key {
+	return Key{Version: r.Version, ErrIdx: r.ErrIdx, CaseIdx: r.CaseIdx}
+}
+
+// Log is a loaded journal: the campaign headers and every complete run
+// record, in file order.
+type Log struct {
+	// Headers lists the campaign header lines (one per campaign start
+	// or resume).
+	Headers []Header
+	// Runs lists the completed-run records.
+	Runs []Record
+	// Truncated reports that the final line was incomplete — the
+	// signature of a killed campaign — and was dropped.
+	Truncated bool
+}
+
+// Load reads a journal file. A malformed final line (interrupted mid
+// write) is dropped and flagged via Truncated; a malformed interior
+// line is an error, since it means the file is not a journal.
+func Load(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		line := make([]byte, len(sc.Bytes()))
+		copy(line, sc.Bytes())
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+
+	log := &Log{}
+	for i, line := range lines {
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			if i == len(lines)-1 {
+				log.Truncated = true
+				break
+			}
+			return nil, fmt.Errorf("journal: %s line %d: %w", path, i+1, err)
+		}
+		switch probe.Kind {
+		case KindHeader:
+			var h Header
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, fmt.Errorf("journal: %s line %d: %w", path, i+1, err)
+			}
+			log.Headers = append(log.Headers, h)
+		case KindRun:
+			var r Record
+			if err := json.Unmarshal(line, &r); err != nil {
+				return nil, fmt.Errorf("journal: %s line %d: %w", path, i+1, err)
+			}
+			log.Runs = append(log.Runs, r)
+		default:
+			// Unknown kinds are skipped so old readers survive future
+			// record types.
+		}
+	}
+	return log, nil
+}
+
+// Header returns the first header of the named experiment.
+func (l *Log) Header(experiment string) (Header, bool) {
+	for _, h := range l.Headers {
+		if h.Experiment == experiment {
+			return h, true
+		}
+	}
+	return Header{}, false
+}
+
+// Lookup indexes the named experiment's runs by their coordinates; when
+// a run appears twice (a journal resumed more than once) the last
+// occurrence wins.
+func (l *Log) Lookup(experiment string) map[Key]Record {
+	out := make(map[Key]Record)
+	for _, r := range l.Runs {
+		if r.Experiment == experiment {
+			out[r.Key()] = r
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Header(Header{Experiment: "E1", Seed: 7, Grid: 2, Total: 3}); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Experiment: "E1", Version: 8, ErrIdx: 0, ErrID: "S1", CaseIdx: 0, Seed: 11, Detected: true, LatencyMs: 40, ByTest: map[int]int{1: 3}},
+		{Experiment: "E1", Version: 8, ErrIdx: 0, ErrID: "S1", CaseIdx: 1, Seed: 12, Failed: true},
+		{Experiment: "E1", Version: 8, ErrIdx: 1, ErrID: "S2", CaseIdx: 0, Seed: 13},
+	}
+	for _, r := range recs {
+		if err := w.Run(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	log, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Truncated {
+		t.Error("clean journal flagged truncated")
+	}
+	if len(log.Headers) != 1 || log.Headers[0].Seed != 7 || log.Headers[0].Kind != KindHeader {
+		t.Fatalf("headers = %+v", log.Headers)
+	}
+	if len(log.Runs) != len(recs) {
+		t.Fatalf("got %d runs, want %d", len(log.Runs), len(recs))
+	}
+	got := log.Runs[0]
+	if !got.Detected || got.LatencyMs != 40 || got.ByTest[1] != 3 || got.ErrID != "S1" {
+		t.Errorf("run 0 round-trip: %+v", got)
+	}
+
+	byKey := log.Lookup("E1")
+	if len(byKey) != 3 {
+		t.Fatalf("Lookup returned %d entries", len(byKey))
+	}
+	if r, ok := byKey[Key{Version: 8, ErrIdx: 0, CaseIdx: 1}]; !ok || !r.Failed {
+		t.Errorf("lookup by coordinates: %+v ok=%v", r, ok)
+	}
+	if _, ok := log.Header("E2"); ok {
+		t.Error("found a header for an experiment never journaled")
+	}
+}
+
+func TestLoadToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Header(Header{Experiment: "E1", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(Record{Experiment: "E1", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-write: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"run","experiment":"E1","ver`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Truncated {
+		t.Error("truncated tail not flagged")
+	}
+	if len(log.Runs) != 1 {
+		t.Errorf("got %d runs, want the 1 complete record", len(log.Runs))
+	}
+}
+
+func TestLoadRejectsMalformedInteriorLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"kind":"header","experiment":"E1"}` + "\n" +
+		"this is not a journal\n" +
+		`{"kind":"run","experiment":"E1"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("malformed interior line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not locate the bad line: %v", err)
+	}
+}
+
+func TestOpenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(Record{Experiment: "E1", ErrIdx: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(Record{Experiment: "E1", ErrIdx: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 2 {
+		t.Fatalf("append lost records: %d runs", len(log.Runs))
+	}
+	// Lookup keeps the later occurrence when a run repeats.
+	if err := func() error {
+		w3, err := Open(path)
+		if err != nil {
+			return err
+		}
+		if err := w3.Run(Record{Experiment: "E1", ErrIdx: 2, Detected: true}); err != nil {
+			return err
+		}
+		return w3.Close()
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	log, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := log.Lookup("E1")[Key{ErrIdx: 2}]; !r.Detected {
+		t.Error("Lookup did not prefer the later duplicate")
+	}
+}

@@ -1,0 +1,53 @@
+package journal
+
+import "time"
+
+// ProgressEvent is one campaign progress sample, emitted after every
+// completed (or replayed) run. At the paper's full protocol scale —
+// 22 400 E1 runs plus 5000 E2 runs — these events are what turn an
+// opaque batch call into an observable campaign.
+type ProgressEvent struct {
+	// Experiment names the campaign ("E1" or "E2").
+	Experiment string
+	// Completed counts finished runs, including replayed ones.
+	Completed int
+	// Resumed counts the journal-replayed runs included in Completed.
+	Resumed int
+	// Total is the campaign's total run count.
+	Total int
+	// Elapsed is the wall time since the campaign dispatched.
+	Elapsed time.Duration
+	// RunsPerSec is the live (non-replayed) completion throughput.
+	RunsPerSec float64
+	// ETA estimates the remaining wall time; zero when unknown.
+	ETA time.Duration
+}
+
+// WorkerMetrics is one pool worker's share of a campaign.
+type WorkerMetrics struct {
+	// Worker is the worker's pool index.
+	Worker int `json:"worker"`
+	// Runs is the number of runs the worker executed.
+	Runs int `json:"runs"`
+	// BusyMs is the cumulative time the worker spent inside runs.
+	BusyMs int64 `json:"busy_ms"`
+	// Utilization is BusyMs over the campaign wall time (0..1).
+	Utilization float64 `json:"utilization"`
+}
+
+// Metrics summarizes a finished (or interrupted) campaign: the numbers
+// `fic -metrics` dumps as its final JSON block.
+type Metrics struct {
+	// Experiment names the campaign ("E1" or "E2").
+	Experiment string `json:"experiment"`
+	// Runs counts live (executed, non-replayed) runs.
+	Runs int `json:"live_runs"`
+	// Resumed counts journal-replayed runs.
+	Resumed int `json:"resumed_runs"`
+	// WallMs is the campaign wall time in milliseconds.
+	WallMs int64 `json:"wall_ms"`
+	// RunsPerSec is the live completion throughput.
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// Workers holds per-worker utilization.
+	Workers []WorkerMetrics `json:"workers"`
+}

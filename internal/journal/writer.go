@@ -1,0 +1,126 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Writer appends journal lines through a single writer goroutine, so
+// the campaign collector never blocks on disk latency and the file sees
+// one write call per line (a kill can truncate at most the final line).
+// Writes go straight to the file descriptor — no userspace buffer — so
+// everything before a truncated tail survives a killed process.
+//
+// Writer methods may be called from one goroutine at a time (the
+// campaigns call them from the single collector goroutine); Close is
+// idempotent and safe to defer alongside an explicit call.
+type Writer struct {
+	f    *os.File
+	ch   chan []byte
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// Create opens a fresh journal at path, truncating any previous file.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return newWriter(f), nil
+}
+
+// Open opens an existing journal at path for appending — the resume
+// path: replayed runs are already on file, and newly executed runs
+// extend it, so a twice-interrupted campaign still resumes cleanly.
+func Open(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return newWriter(f), nil
+}
+
+func newWriter(f *os.File) *Writer {
+	w := &Writer{
+		f:    f,
+		ch:   make(chan []byte, 256),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(w.done)
+		for line := range w.ch {
+			if _, err := w.f.Write(line); err != nil {
+				w.setErr(fmt.Errorf("journal: writing: %w", err))
+			}
+		}
+	}()
+	return w
+}
+
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// send marshals v as one JSONL line and hands it to the writer
+// goroutine.
+func (w *Writer) send(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: marshaling: %w", err)
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("journal: write after close")
+	}
+	w.mu.Unlock()
+	w.ch <- append(b, '\n')
+	return w.Err()
+}
+
+// Header appends a campaign header line.
+func (w *Writer) Header(h Header) error {
+	h.Kind = KindHeader
+	return w.send(h)
+}
+
+// Run appends one completed-run record.
+func (w *Writer) Run(r Record) error {
+	r.Kind = KindRun
+	return w.send(r)
+}
+
+// Close drains pending lines, closes the file and returns the first
+// write error. It is idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.Err()
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.ch)
+	<-w.done
+	if err := w.f.Close(); err != nil {
+		w.setErr(fmt.Errorf("journal: closing: %w", err))
+	}
+	return w.Err()
+}

@@ -1,0 +1,53 @@
+package easig
+
+import "easig/internal/journal"
+
+// Campaign observability: re-exports of the internal/journal subsystem
+// that makes the paper's 27 400-run protocol (§3.4: E1's 22 400 runs
+// plus E2's 5000) journaled, resumable and observable. A campaign run
+// with CampaignConfig.Journal set appends one JSONL record per
+// completed run; an interrupted campaign resumed from that journal via
+// CampaignConfig.Resume reproduces the uninterrupted campaign's
+// Tables 7-9 byte for byte. See ARCHITECTURE.md for the determinism
+// contract that makes this sound.
+
+// JournalWriter appends campaign run records to a JSONL journal file
+// through a single writer goroutine; set it as CampaignConfig.Journal.
+type JournalWriter = journal.Writer
+
+// JournalLog is a loaded campaign journal; set it as
+// CampaignConfig.Resume to replay its outcomes instead of re-executing
+// the journaled runs.
+type JournalLog = journal.Log
+
+// JournalHeader is a journal's campaign identification line.
+type JournalHeader = journal.Header
+
+// JournalRecord is one journaled run: its coordinates in the campaign
+// grid, the derived per-run seed, and the Table 7-9 readouts.
+type JournalRecord = journal.Record
+
+// ProgressEvent is one campaign progress sample (throughput,
+// completed/total, ETA), delivered to CampaignConfig.Progress after
+// every completed or replayed run.
+type ProgressEvent = journal.ProgressEvent
+
+// CampaignMetrics summarizes a finished campaign's execution: live and
+// replayed run counts, wall time, throughput and per-worker
+// utilization. Campaign results carry one in their Metrics field.
+type CampaignMetrics = journal.Metrics
+
+// WorkerMetrics is one pool worker's share of a campaign.
+type WorkerMetrics = journal.WorkerMetrics
+
+// CreateJournal opens a fresh journal at path, truncating any previous
+// file.
+func CreateJournal(path string) (*JournalWriter, error) { return journal.Create(path) }
+
+// OpenJournal opens an existing journal for appending — the resume
+// path, so a twice-interrupted campaign still resumes cleanly.
+func OpenJournal(path string) (*JournalWriter, error) { return journal.Open(path) }
+
+// LoadJournal reads a journal file, tolerating the truncated final
+// line a killed campaign leaves behind.
+func LoadJournal(path string) (*JournalLog, error) { return journal.Load(path) }

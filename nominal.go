@@ -38,7 +38,9 @@ func Table4Rows() []Table4Row {
 	return rows
 }
 
-// NominalResult is the readout of one fault-free arrestment.
+// NominalResult is the readout of one fault-free arrestment (the
+// baseline behaviour of §3.2: stop inside the runway, no constraint
+// violation, no detection).
 type NominalResult struct {
 	// Stopped reports whether the aircraft came to a halt, and when.
 	Stopped   bool

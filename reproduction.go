@@ -15,7 +15,7 @@ import (
 // through the public package.
 
 // TestCase is one experiment input: aircraft mass and engagement
-// velocity.
+// velocity, a point of the §3.4 test-case grid.
 type TestCase = physics.TestCase
 
 // Grid returns an n x n test-case grid over the paper's mass and
@@ -42,11 +42,12 @@ const (
 // Versions returns the paper's eight software versions.
 func Versions() []Version { return target.Versions() }
 
-// ArrestingSystem is the complete experiment target: environment
-// simulator, master node and slave node.
+// ArrestingSystem is the complete experiment target of the paper's §3:
+// environment simulator, master node and slave node.
 type ArrestingSystem = target.System
 
-// ArrestingSystemConfig assembles an ArrestingSystem.
+// ArrestingSystemConfig assembles an ArrestingSystem (test case,
+// software version, sinks, recovery, Table 4 assertion placement).
 type ArrestingSystemConfig = target.SystemConfig
 
 // NewArrestingSystem builds and boots a system for one run.
@@ -54,19 +55,23 @@ func NewArrestingSystem(cfg ArrestingSystemConfig) (*ArrestingSystem, error) {
 	return target.NewSystem(cfg)
 }
 
-// InjectionError is one injectable bit-flip error.
+// InjectionError is one injectable bit-flip error (a Table 6 E1 error
+// or a random E2 error).
 type InjectionError = inject.Error
 
-// InjectionPolicy is the time-triggered injection schedule.
+// InjectionPolicy is the time-triggered injection schedule of §3.4
+// (20 ms period at paper defaults).
 type InjectionPolicy = inject.Policy
 
-// RunConfig describes one fault-injection experiment run.
+// RunConfig describes one fault-injection experiment run: one
+// <mass, velocity, error> combination against one software version.
 type RunConfig = inject.RunConfig
 
-// RunResult is one run's readout record.
+// RunResult is one run's readout record: what the paper's FIC3 stores
+// from the detection pin and the environment simulator.
 type RunResult = inject.RunResult
 
-// Run executes one experiment run.
+// Run executes one §3.4 experiment run.
 func Run(cfg RunConfig) (RunResult, error) { return inject.Run(cfg) }
 
 // BuildE1 builds the paper's Table 6 error set (112 errors).
@@ -79,7 +84,9 @@ func BuildE2(seed int64) []InjectionError {
 }
 
 // CampaignConfig parameterises a campaign; the zero value runs the
-// paper's full protocol.
+// paper's full §3.4 protocol. Set Journal, Resume, Progress and
+// Context (see JournalWriter, JournalLog and ProgressEvent) to record,
+// resume and observe a long campaign.
 type CampaignConfig = experiment.Config
 
 // E1Result aggregates an E1 campaign (Tables 7 and 8).
@@ -146,8 +153,8 @@ const (
 	PlacementProducer = target.PlacementProducer
 )
 
-// Headline carries the paper's headline numbers computed from campaign
-// results.
+// Headline carries the paper's abstract-level headline numbers (the
+// 74% / >99% detection probabilities) computed from campaign results.
 type Headline = experiment.Headline
 
 // ComputeHeadline extracts the headline numbers from campaign results.
