@@ -120,6 +120,88 @@ func BenchmarkArrestmentGoldenRun(b *testing.B) {
 	}
 }
 
+// --- Snapshot/fast-forward engine benchmarks (the BENCH_PR4 ledger
+// rows; cmd/bench runs these same shapes and writes BENCH_PR4.json) ---
+
+// BenchmarkSnapshotCaptureRestore measures one checkpoint cycle: a
+// full capture of the target (417 B RAM + 1008 B stack per node,
+// dispatcher and monitor state, link, plant) followed by a restore.
+func BenchmarkSnapshotCaptureRestore(b *testing.B) {
+	sys, err := target.NewSystem(target.SystemConfig{
+		TestCase: easig.TestCase{MassKg: 14000, VelocityMS: 55},
+		Seed:     1,
+		Version:  target.VersionAll,
+		Recovery: core.NoRecovery{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.RunMs(500)
+	var st target.SystemState
+	sys.Capture(&st) // warm the buffers outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Capture(&st)
+		if err := sys.Restore(&st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineErrorRun measures one fast-forwarded error run: clone
+// the nominal snapshot, inject until the outcome settles, derive all
+// eight version builds from the single profile run. One iteration
+// therefore yields eight campaign runs; the derived-runs/op metric
+// makes that explicit.
+func BenchmarkEngineErrorRun(b *testing.B) {
+	eng, err := inject.NewEngine(inject.RunConfig{
+		TestCase:      easig.TestCase{MassKg: 14000, VelocityMS: 55},
+		ObservationMs: 16000,
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	errors := easig.BuildE1()
+	versions := target.Versions()
+	out := make([]inject.RunResult, len(versions))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunError(errors[i%len(errors)], versions, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(versions)), "derived-runs/op")
+}
+
+// BenchmarkCampaignE1Snapshot and BenchmarkCampaignE1FromScratch are
+// the before/after pair for the fast-forward engine: the same scaled
+// E1 campaign (one test case, all eight versions, 16 s window) served
+// from snapshots versus simulated from time zero. Their ns/op ratio is
+// the campaign speedup.
+func benchScaledE1(b *testing.B, fromScratch bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := easig.RunE1(easig.CampaignConfig{
+			Grid:          1,
+			Seed:          1,
+			ObservationMs: 16000,
+			FromScratch:   fromScratch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Runs != 112*8 {
+			b.Fatalf("unexpected run count %d", r.Runs)
+		}
+	}
+}
+
+func BenchmarkCampaignE1Snapshot(b *testing.B)    { benchScaledE1(b, false) }
+func BenchmarkCampaignE1FromScratch(b *testing.B) { benchScaledE1(b, true) }
+
 // --- Table benchmarks ---
 
 // BenchmarkTable6BuildE1 regenerates the Table 6 error set.

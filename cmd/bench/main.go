@@ -1,0 +1,212 @@
+// Command bench is the repository's benchmark ledger: it measures the
+// simulator's per-tick hot path, the snapshot engine, and the scaled
+// E1 campaign in both execution modes, and writes the results as a
+// JSON ledger (BENCH_PR4.json) so every future change has a perf
+// trajectory to diff against. It doubles as the CI regression gate:
+// the run fails if the per-tick hot path allocates.
+//
+// Usage:
+//
+//	bench                    # write BENCH_PR4.json in the current directory
+//	bench -out ledger.json   # write elsewhere
+//	bench -observe 40000     # measure at the paper's full window
+//
+// The campaign rows use a scaled protocol (one test case, 16 s window
+// by default) so the ledger regenerates in well under a minute; the
+// speedup at the paper's full 40 s window is strictly larger, because
+// the from-scratch mode pays for the whole window while the snapshot
+// engine stops at the settled outcome.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"easig"
+	"easig/internal/core"
+	"easig/internal/inject"
+	"easig/internal/target"
+)
+
+// row is one benchmark ledger entry.
+type row struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ledger is the BENCH_PR4.json document.
+type ledger struct {
+	Schema        string `json:"schema"`
+	Go            string `json:"go"`
+	GOARCH        string `json:"goarch"`
+	Grid          int    `json:"grid"`
+	ObservationMs int64  `json:"observation_ms"`
+
+	// Tick is one control cycle of the nominal instrumented target
+	// (both nodes, all assertions, plant integration).
+	Tick row `json:"tick"`
+	// SnapshotCaptureRestore is one full checkpoint cycle of the
+	// target system state.
+	SnapshotCaptureRestore row `json:"snapshot_capture_restore"`
+	// EngineErrorRun is one fast-forwarded error run (restore, inject
+	// to a settled outcome, derive all eight versions).
+	EngineErrorRun   row     `json:"engine_error_run"`
+	DerivedRunsPerOp int     `json:"engine_derived_runs_per_op"`
+	EngineRunsPerSec float64 `json:"engine_runs_per_sec"`
+
+	// CampaignE1 compares the scaled E1 campaign in both modes.
+	CampaignSnapshotWallMs        int64   `json:"campaign_e1_snapshot_wall_ms"`
+	CampaignFromScratchWallMs     int64   `json:"campaign_e1_from_scratch_wall_ms"`
+	CampaignRuns                  int     `json:"campaign_e1_runs"`
+	CampaignSnapshotRunsPerSec    float64 `json:"campaign_e1_snapshot_runs_per_sec"`
+	CampaignFromScratchRunsPerSec float64 `json:"campaign_e1_from_scratch_runs_per_sec"`
+	CampaignSpeedup               float64 `json:"campaign_e1_speedup"`
+}
+
+func toRow(r testing.BenchmarkResult) row {
+	return row{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "BENCH_PR4.json", "ledger output path")
+		grid    = flag.Int("grid", 1, "campaign test-case grid edge")
+		observe = flag.Int64("observe", 16000, "campaign observation window in ms")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+	)
+	flag.Parse()
+
+	tc := easig.TestCase{MassKg: 14000, VelocityMS: 55}
+	led := ledger{
+		Schema:        "easig-bench/1",
+		Go:            runtime.Version(),
+		GOARCH:        runtime.GOARCH,
+		Grid:          *grid,
+		ObservationMs: *observe,
+	}
+
+	// Per-tick hot path. This row is the regression gate: the campaign
+	// executes tens of millions of ticks, so the hot path must not
+	// allocate at all.
+	sys, err := target.NewSystem(target.SystemConfig{
+		TestCase: tc, Seed: *seed, Version: target.VersionAll, Recovery: core.NoRecovery{},
+	})
+	if err != nil {
+		return err
+	}
+	sys.RunMs(1000)
+	led.Tick = toRow(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.StepMs()
+		}
+	}))
+
+	// Snapshot capture + restore.
+	var st target.SystemState
+	sys.Capture(&st)
+	led.SnapshotCaptureRestore = toRow(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.Capture(&st)
+			if err := sys.Restore(&st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// One engine error run: restore the nominal snapshot, inject until
+	// the outcome settles, derive all eight version builds.
+	eng, err := inject.NewEngine(inject.RunConfig{TestCase: tc, ObservationMs: *observe, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	errors := easig.BuildE1()
+	versions := target.Versions()
+	results := make([]inject.RunResult, len(versions))
+	led.DerivedRunsPerOp = len(versions)
+	led.EngineErrorRun = toRow(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eng.RunError(errors[i%len(errors)], versions, results); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if led.EngineErrorRun.NsPerOp > 0 {
+		led.EngineRunsPerSec = float64(led.DerivedRunsPerOp) * 1e9 / led.EngineErrorRun.NsPerOp
+	}
+
+	// Campaign wall-clock, both modes, same protocol and seed.
+	campaign := func(fromScratch bool) (time.Duration, int, error) {
+		start := time.Now()
+		r, err := easig.RunE1(easig.CampaignConfig{
+			Grid:          *grid,
+			Seed:          *seed,
+			ObservationMs: *observe,
+			FromScratch:   fromScratch,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), r.Runs, nil
+	}
+	snapWall, runs, err := campaign(false)
+	if err != nil {
+		return err
+	}
+	scratchWall, _, err := campaign(true)
+	if err != nil {
+		return err
+	}
+	led.CampaignSnapshotWallMs = snapWall.Milliseconds()
+	led.CampaignFromScratchWallMs = scratchWall.Milliseconds()
+	led.CampaignRuns = runs
+	if s := snapWall.Seconds(); s > 0 {
+		led.CampaignSnapshotRunsPerSec = float64(runs) / s
+	}
+	if s := scratchWall.Seconds(); s > 0 {
+		led.CampaignFromScratchRunsPerSec = float64(runs) / s
+	}
+	if snapWall > 0 {
+		led.CampaignSpeedup = float64(scratchWall) / float64(snapWall)
+	}
+
+	buf, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: tick %.0f ns/op %d allocs/op; engine %.0f runs/s; campaign speedup %.1fx; wrote %s\n",
+		led.Tick.NsPerOp, led.Tick.AllocsPerOp, led.EngineRunsPerSec, led.CampaignSpeedup, *out)
+
+	// Regression gates: a heap allocation on the tick path or a
+	// campaign slower than from-scratch execution fails the run (and
+	// the CI benchmark job with it).
+	if led.Tick.AllocsPerOp != 0 {
+		return fmt.Errorf("per-tick hot path allocates (%d allocs/op); the zero-allocation gate failed", led.Tick.AllocsPerOp)
+	}
+	if led.SnapshotCaptureRestore.AllocsPerOp != 0 {
+		return fmt.Errorf("snapshot capture/restore allocates (%d allocs/op)", led.SnapshotCaptureRestore.AllocsPerOp)
+	}
+	if led.CampaignSpeedup < 1 {
+		return fmt.Errorf("snapshot campaign slower than from-scratch (speedup %.2fx)", led.CampaignSpeedup)
+	}
+	return nil
+}

@@ -19,6 +19,16 @@
 //	fic -resume runs.jsonl       # resume an interrupted campaign
 //	fic -progress                # periodic progress line on stderr
 //	fic -metrics                 # final JSON metrics block on stdout
+//	fic -snapshot=off            # escape hatch: simulate every run from time zero
+//
+// By default campaigns run on the snapshot/fast-forward engine: each
+// test case is fast-forwarded once to the first injection time, every
+// error run clones that checkpoint, and the eight version builds are
+// derived from a single all-assertions profile run — rendering tables
+// byte-identical to from-scratch execution (see PERFORMANCE.md).
+// -snapshot=off forces the literal per-run simulation the hardware
+// FIC3 performed; campaigns with -recovery previous fall back to it
+// automatically.
 package main
 
 import (
@@ -60,6 +70,7 @@ func run() error {
 		resumeF     = flag.String("resume", "", "resume an interrupted campaign from its journal (keeps appending to it)")
 		progressF   = flag.Bool("progress", false, "render a periodic progress line on stderr")
 		metricsF    = flag.Bool("metrics", false, "print a final JSON metrics block (runs/sec, wall time, per-worker utilization)")
+		snapshotF   = flag.String("snapshot", "on", "fast-forward engine: on (default) or off (simulate every run from time zero)")
 	)
 	flag.Parse()
 
@@ -101,6 +112,13 @@ func run() error {
 		ObservationMs: *observe,
 		Policy:        inject.Policy{StartMs: *start, PeriodMs: *period},
 		Context:       ctx,
+	}
+	switch *snapshotF {
+	case "on":
+	case "off":
+		cfg.FromScratch = true
+	default:
+		return fmt.Errorf("unknown -snapshot %q (want on or off)", *snapshotF)
 	}
 
 	if *journalF != "" && *resumeF != "" {
@@ -166,7 +184,7 @@ func run() error {
 		if e1, err = easig.RunE1(cfg); err != nil {
 			return campaignErr(err, jw, *journalF, *resumeF)
 		}
-		fmt.Fprintf(os.Stderr, "fic: E1 done: %d runs in %v\n", e1.Runs, time.Since(began).Round(time.Second))
+		fmt.Fprintf(os.Stderr, "fic: E1 done: %d runs in %v (%s)\n", e1.Runs, time.Since(began).Round(time.Second), metricsLine(e1.Metrics))
 		fmt.Println(easig.Table6(*grid * *grid))
 		fmt.Println(easig.Table7(e1))
 		fmt.Println(easig.Table8(e1))
@@ -183,7 +201,7 @@ func run() error {
 		if e2, err = easig.RunE2(cfg); err != nil {
 			return campaignErr(err, jw, *journalF, *resumeF)
 		}
-		fmt.Fprintf(os.Stderr, "fic: E2 done: %d runs in %v\n", e2.Runs, time.Since(began).Round(time.Second))
+		fmt.Fprintf(os.Stderr, "fic: E2 done: %d runs in %v (%s)\n", e2.Runs, time.Since(began).Round(time.Second), metricsLine(e2.Metrics))
 		fmt.Println(easig.Table9(e2))
 	}
 	if e1 != nil || e2 != nil {
@@ -223,6 +241,18 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// metricsLine condenses a campaign's journal.Metrics into the final
+// stderr summary: live throughput, and the replayed share on resumed
+// campaigns (replayed runs cost no simulation time, so they are kept
+// out of the runs/s figure).
+func metricsLine(m easig.CampaignMetrics) string {
+	s := fmt.Sprintf("%.0f runs/s live", m.RunsPerSec)
+	if m.Resumed > 0 {
+		s += fmt.Sprintf(", %d replayed from journal", m.Resumed)
+	}
+	return s
 }
 
 // campaignErr closes the journal so every completed run is on disk,

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"easig"
@@ -26,45 +27,53 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sigmon:", err)
 		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run() error {
+// run executes one sigmon invocation. It returns the process exit
+// code (0 clean, 2 when -check found violations) so tests can drive
+// the command without spawning a process.
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("sigmon", flag.ContinueOnError)
 	var (
-		check     = flag.Bool("check", false, "run assertions over the trace")
-		calibrate = flag.Bool("calibrate", false, "propose parameters from the trace")
-		signal    = flag.String("signal", "", "trace column to monitor")
-		classF    = flag.String("class", "Co/Ra", "signal class (Table 4 notation)")
-		minF      = flag.Int64("min", 0, "smin")
-		maxF      = flag.Int64("max", 0, "smax")
-		rMinIncr  = flag.Int64("rmin-incr", 0, "minimum increase rate")
-		rMaxIncr  = flag.Int64("rmax-incr", 0, "maximum increase rate")
-		rMinDecr  = flag.Int64("rmin-decr", 0, "minimum decrease rate")
-		rMaxDecr  = flag.Int64("rmax-decr", 0, "maximum decrease rate")
-		wrap      = flag.Bool("wrap", false, "allow wrap-around")
-		margin    = flag.Float64("margin", 0.1, "calibration margin fraction")
+		check     = fs.Bool("check", false, "run assertions over the trace")
+		calibrate = fs.Bool("calibrate", false, "propose parameters from the trace")
+		signal    = fs.String("signal", "", "trace column to monitor")
+		classF    = fs.String("class", "Co/Ra", "signal class (Table 4 notation)")
+		minF      = fs.Int64("min", 0, "smin")
+		maxF      = fs.Int64("max", 0, "smax")
+		rMinIncr  = fs.Int64("rmin-incr", 0, "minimum increase rate")
+		rMaxIncr  = fs.Int64("rmax-incr", 0, "maximum increase rate")
+		rMinDecr  = fs.Int64("rmin-decr", 0, "minimum decrease rate")
+		rMaxDecr  = fs.Int64("rmax-decr", 0, "maximum decrease rate")
+		wrap      = fs.Bool("wrap", false, "allow wrap-around")
+		margin    = fs.Float64("margin", 0.1, "calibration margin fraction")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
 
 	if *check == *calibrate {
-		return fmt.Errorf("pass exactly one of -check or -calibrate")
+		return 0, fmt.Errorf("pass exactly one of -check or -calibrate")
 	}
 	if *signal == "" {
-		return fmt.Errorf("-signal is required")
+		return 0, fmt.Errorf("-signal is required")
 	}
-	set, err := trace.ReadCSV(os.Stdin)
+	set, err := trace.ReadCSV(stdin)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tr, ok := set.Trace(*signal)
 	if !ok {
-		return fmt.Errorf("trace has no column %q", *signal)
+		return 0, fmt.Errorf("trace has no column %q", *signal)
 	}
 	if tr.Len() == 0 {
-		return fmt.Errorf("column %q is empty", *signal)
+		return 0, fmt.Errorf("column %q is empty", *signal)
 	}
 
 	if *calibrate {
@@ -79,22 +88,22 @@ func run() error {
 			Wrap:        *wrap,
 		})
 		if err != nil {
-			return err
+			return 0, err
 		}
-		fmt.Printf("signal %s: %d samples\n", *signal, tr.Len())
-		fmt.Printf("proposed class: %v\n", class)
-		fmt.Printf("proposed parameters: %v\n", p)
-		fmt.Printf("flags: -class %s -min %d -max %d -rmin-incr %d -rmax-incr %d -rmin-decr %d -rmax-decr %d\n",
+		fmt.Fprintf(stdout, "signal %s: %d samples\n", *signal, tr.Len())
+		fmt.Fprintf(stdout, "proposed class: %v\n", class)
+		fmt.Fprintf(stdout, "proposed parameters: %v\n", p)
+		fmt.Fprintf(stdout, "flags: -class %s -min %d -max %d -rmin-incr %d -rmax-incr %d -rmin-decr %d -rmax-decr %d\n",
 			class, p.Min, p.Max, p.Incr.Min, p.Incr.Max, p.Decr.Min, p.Decr.Max)
-		return nil
+		return 0, nil
 	}
 
 	class, err := easig.ParseClass(*classF)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if !class.IsContinuous() {
-		return fmt.Errorf("sigmon -check supports continuous classes; got %v", class)
+		return 0, fmt.Errorf("sigmon -check supports continuous classes; got %v", class)
 	}
 	p := easig.Continuous{
 		Min:  *minF,
@@ -108,17 +117,17 @@ func run() error {
 		easig.WithRecovery(easig.NoRecovery{}),
 		easig.WithSink(easig.SinkFunc(func(v easig.Violation) {
 			violations++
-			fmt.Printf("t=%dms: %v\n", v.Time, v)
+			fmt.Fprintf(stdout, "t=%dms: %v\n", v.Time, v)
 		})))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for i, s := range tr.Samples {
 		mon.Test(int64(i)*tr.PeriodMs, s)
 	}
-	fmt.Printf("%s: %d samples, %d violations\n", *signal, tr.Len(), violations)
+	fmt.Fprintf(stdout, "%s: %d samples, %d violations\n", *signal, tr.Len(), violations)
 	if violations > 0 {
-		os.Exit(2)
+		return 2, nil
 	}
-	return nil
+	return 0, nil
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleCSV is a small trace in the arrest -csv format: a pressure
+// ramp with one out-of-rate jump at t=30 ms.
+const sampleCSV = `t_ms,press
+0,100
+10,120
+20,140
+30,900
+40,160
+50,180
+`
+
+func runSigmon(t *testing.T, in string, args ...string) (int, string, error) {
+	t.Helper()
+	var out strings.Builder
+	code, err := run(args, strings.NewReader(in), &out)
+	return code, out.String(), err
+}
+
+func TestCheckCleanTrace(t *testing.T) {
+	code, out, err := runSigmon(t, sampleCSV,
+		"-check", "-signal", "press", "-min", "0", "-max", "2000",
+		"-rmax-incr", "1000", "-rmax-decr", "1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out, "press: 6 samples, 0 violations") {
+		t.Errorf("summary missing: %q", out)
+	}
+}
+
+func TestCheckFlagsViolation(t *testing.T) {
+	code, out, err := runSigmon(t, sampleCSV,
+		"-check", "-signal", "press", "-min", "0", "-max", "2000",
+		"-rmax-incr", "30", "-rmax-decr", "30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 on violations", code)
+	}
+	if !strings.Contains(out, "t=30ms:") {
+		t.Errorf("violation at t=30 not reported: %q", out)
+	}
+	if strings.Contains(out, " 0 violations") {
+		t.Errorf("summary claims clean trace: %q", out)
+	}
+}
+
+func TestCalibrateProposesFlags(t *testing.T) {
+	code, out, err := runSigmon(t, sampleCSV, "-calibrate", "-signal", "press")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out, "proposed class:") || !strings.Contains(out, "flags: -class") {
+		t.Errorf("proposal output incomplete: %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-signal", "press"},                              // neither mode
+		{"-check", "-calibrate", "-signal", "x"},          // both modes
+		{"-check"},                                        // no signal
+		{"-check", "-signal", "nosuch"},                   // unknown column
+		{"-check", "-signal", "press", "-class", "Di/SS"}, // discrete class
+	} {
+		if _, _, err := runSigmon(t, sampleCSV, args...); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

@@ -49,6 +49,13 @@ type Monitor struct {
 
 	tests      uint64
 	violations uint64
+
+	// scratch is the reused violation record handed out by Test. Keeping
+	// it in the monitor instead of on the stack keeps the per-tick hot
+	// path of the fault-injection campaigns free of heap allocations
+	// even while an injected error violates the assertions on every
+	// control cycle.
+	scratch Violation
 }
 
 // Errors returned by the monitor constructors; match with errors.Is.
@@ -208,7 +215,9 @@ func (m *Monitor) Prime(s int64) {
 // assertions. now is the caller's timestamp (milliseconds in the target
 // system). It returns the accepted value — the observation itself when
 // the assertions pass, or the recovery policy's replacement after a
-// violation — and the violation, if any.
+// violation — and the violation, if any. The returned Violation points
+// into storage reused by the next Test call; copy the struct to retain
+// it (DetectionSinks receive their own copy).
 //
 // The very first observation has no previous value s'; only the tests
 // that are independent of s' run (bounds for continuous signals, domain
@@ -242,7 +251,7 @@ func (m *Monitor) Test(now, s int64) (int64, *Violation) {
 	}
 
 	m.violations++
-	v := Violation{
+	m.scratch = Violation{
 		Signal:  m.name,
 		Test:    id,
 		Value:   s,
@@ -252,15 +261,15 @@ func (m *Monitor) Test(now, s int64) (int64, *Violation) {
 		Time:    now,
 	}
 	if m.sink != nil {
-		m.sink.Detect(v)
+		m.sink.Detect(m.scratch)
 	}
 	var recovered int64
 	if m.cont != nil {
-		recovered = m.recovery.RecoverContinuous(v, m.cont[m.mode])
+		recovered = m.recovery.RecoverContinuous(m.scratch, m.cont[m.mode])
 	} else {
-		recovered = m.recovery.RecoverDiscrete(v, m.disc[m.mode])
+		recovered = m.recovery.RecoverDiscrete(m.scratch, m.disc[m.mode])
 	}
 	m.prev.StorePrev(recovered)
 	m.primed = true
-	return recovered, &v
+	return recovered, &m.scratch
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,6 +80,15 @@ type Config struct {
 	// after every completed or replayed run with throughput,
 	// completed/total and ETA.
 	Progress func(journal.ProgressEvent)
+	// FromScratch disables the snapshot/fast-forward engine: every run
+	// builds a fresh system and simulates from time zero, as the
+	// hardware FIC3 does. The default (false) serves each test case
+	// from one fast-forwarded snapshot and derives all version builds
+	// from a single all-assertions profile run per error, which is
+	// equivalence-preserving for detection-only campaigns and renders
+	// byte-identical tables (see PERFORMANCE.md). Campaigns with an
+	// active recovery policy fall back to from-scratch automatically.
+	FromScratch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,15 +117,20 @@ func (c Config) withDefaults() Config {
 }
 
 // runSeed derives a deterministic per-run seed from the campaign seed
-// and the run coordinates, using splitmix64 mixing.
-func runSeed(campaign int64, version target.Version, errIdx, caseIdx int) int64 {
+// and the run's test case, using splitmix64 mixing. The seed is a
+// function of the test case ONLY — not of the version or the error —
+// because that is what the real FIC3 protocol implies and what the
+// fast-forward engine requires: every error of a test case replays the
+// same arrestment (the same sensor-noise sequence), the injected error
+// is the only difference between runs, and the version build does not
+// touch the plant. One nominal prefix snapshot per test case therefore
+// serves every (version, error) run of that case.
+func runSeed(campaign int64, caseIdx int) int64 {
 	x := uint64(campaign) ^ 0x9E3779B97F4A7C15
-	for _, v := range []uint64{uint64(int64(version)) + 1, uint64(errIdx) + 1, uint64(caseIdx) + 1} {
-		x += v * 0xBF58476D1CE4E5B9
-		x ^= x >> 30
-		x *= 0x94D049BB133111EB
-		x ^= x >> 31
-	}
+	x += (uint64(caseIdx) + 1) * 0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
 	return int64(x & 0x7FFFFFFFFFFFFFFF)
 }
 
@@ -200,7 +215,7 @@ func partition(cfg Config, exp string, jobs []job) (live []job, replay []outcome
 			live = append(live, j)
 			continue
 		}
-		if want := runSeed(cfg.Seed, j.version, j.errIdx, j.caseIdx); rec.Seed != want {
+		if want := runSeed(cfg.Seed, j.caseIdx); rec.Seed != want {
 			return nil, nil, fmt.Errorf("experiment: journaled %s run %s case %d has seed %d, want %d — journal is from a different campaign",
 				exp, j.err.ID, j.caseIdx, rec.Seed, want)
 		}
@@ -209,13 +224,156 @@ func partition(cfg Config, exp string, jobs []job) (live []job, replay []outcome
 	return live, replay, nil
 }
 
+// engineEligible reports whether the snapshot/fast-forward engine may
+// serve this campaign: it derives every version's outcome from one
+// detection-only profile run, so an active recovery policy (which makes
+// the version builds steer the plant differently) forces from-scratch
+// execution.
+func (c Config) engineEligible() bool {
+	if c.FromScratch {
+		return false
+	}
+	_, detectionOnly := c.Recovery.(core.NoRecovery)
+	return detectionOnly
+}
+
+// engineBatchErrors is the number of errors a worker serves from one
+// fast-forwarded snapshot before handing control back to the pool: big
+// enough to amortise the system build and the 500 ms nominal prefix,
+// small enough to keep the pool load-balanced on scaled grids.
+const engineBatchErrors = 8
+
+// batch is the engine-mode work unit: a chunk of live jobs that share
+// one test case, sorted so jobs of the same error are adjacent.
+type batch struct {
+	caseIdx int
+	tc      physics.TestCase
+	jobs    []job
+}
+
+// buildBatches groups the live jobs by test case and chunks each case's
+// errors, preserving a deterministic order. From-scratch mode uses
+// single-job batches, which reproduces the old per-run dispatch.
+func buildBatches(live []job, engine bool) []batch {
+	if !engine {
+		batches := make([]batch, 0, len(live))
+		for _, j := range live {
+			batches = append(batches, batch{caseIdx: j.caseIdx, tc: j.tc, jobs: []job{j}})
+		}
+		return batches
+	}
+	type caseKey struct {
+		caseIdx int
+		tc      physics.TestCase
+	}
+	perCase := make(map[caseKey]map[int][]job)
+	var caseOrder []caseKey
+	for _, j := range live {
+		k := caseKey{j.caseIdx, j.tc}
+		if perCase[k] == nil {
+			perCase[k] = make(map[int][]job)
+			caseOrder = append(caseOrder, k)
+		}
+		perCase[k][j.errIdx] = append(perCase[k][j.errIdx], j)
+	}
+	var batches []batch
+	for _, k := range caseOrder {
+		errIdxs := make([]int, 0, len(perCase[k]))
+		for ei := range perCase[k] {
+			errIdxs = append(errIdxs, ei)
+		}
+		sort.Ints(errIdxs)
+		for from := 0; from < len(errIdxs); from += engineBatchErrors {
+			to := from + engineBatchErrors
+			if to > len(errIdxs) {
+				to = len(errIdxs)
+			}
+			b := batch{caseIdx: k.caseIdx, tc: k.tc}
+			for _, ei := range errIdxs[from:to] {
+				b.jobs = append(b.jobs, perCase[k][ei]...)
+			}
+			batches = append(batches, b)
+		}
+	}
+	return batches
+}
+
+// runBatchEngine serves one batch from a single fast-forwarded
+// snapshot: one inject.Engine per batch, one profile run per error,
+// derived results for every version the batch's jobs request.
+func runBatchEngine(cfg Config, b batch, emit func(outcome) bool) error {
+	eng, err := inject.NewEngine(inject.RunConfig{
+		TestCase:      b.tc,
+		Policy:        cfg.Policy,
+		ObservationMs: cfg.ObservationMs,
+		Seed:          runSeed(cfg.Seed, b.caseIdx),
+		Recovery:      cfg.Recovery,
+		Placement:     cfg.Placement,
+	})
+	if err != nil {
+		return err
+	}
+	versions := make([]target.Version, 0, 8)
+	results := make([]inject.RunResult, 0, 8)
+	for i := 0; i < len(b.jobs); {
+		j := i
+		for j < len(b.jobs) && b.jobs[j].errIdx == b.jobs[i].errIdx {
+			j++
+		}
+		group := b.jobs[i:j]
+		versions = versions[:0]
+		for _, g := range group {
+			versions = append(versions, g.version)
+		}
+		results = append(results[:0], make([]inject.RunResult, len(group))...)
+		if err := eng.RunError(group[0].err, versions, results); err != nil {
+			return err
+		}
+		for gi, g := range group {
+			if !emit(outcome{job: g, res: results[gi]}) {
+				return nil
+			}
+		}
+		i = j
+	}
+	return nil
+}
+
+// runBatchScratch executes a batch's jobs the pre-engine way: a fresh
+// system per run, simulated from time zero.
+func runBatchScratch(cfg Config, b batch, emit func(outcome) bool) error {
+	for _, j := range b.jobs {
+		e := j.err
+		res, err := inject.Run(inject.RunConfig{
+			TestCase:      j.tc,
+			Version:       j.version,
+			Error:         &e,
+			Policy:        cfg.Policy,
+			ObservationMs: cfg.ObservationMs,
+			Seed:          runSeed(cfg.Seed, j.caseIdx),
+			Recovery:      cfg.Recovery,
+			Placement:     cfg.Placement,
+		})
+		if err != nil {
+			return err
+		}
+		if !emit(outcome{job: j, res: res}) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // runAll executes the live jobs across the pool and streams outcomes to
 // collect (called from a single goroutine, which also feeds the journal
-// writer and the progress hook). The first worker error cancels the
-// remaining workers via the run context, so a failing campaign stops
-// promptly and the journal records a clean interruption point; the
-// parent cfg.Context cancels the same way. The returned metrics cover
-// the live runs (resumed only sizes the progress totals).
+// writer and the progress hook). In engine mode (the default for
+// detection-only campaigns) workers pull per-case batches and serve
+// them from fast-forwarded snapshots; from-scratch mode dispatches one
+// job at a time. The first worker error cancels the remaining workers
+// via the run context, so a failing campaign stops promptly and the
+// journal records a clean interruption point; the parent cfg.Context
+// cancels the same way. The returned metrics cover the live runs
+// (resumed only sizes the progress totals).
 func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcome)) (journal.Metrics, error) {
 	parent := cfg.Context
 	if parent == nil {
@@ -236,7 +394,9 @@ func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcom
 		}
 	}
 
-	in := make(chan job)
+	engine := cfg.engineEligible()
+	batches := buildBatches(jobs, engine)
+	in := make(chan batch)
 	out := make(chan outcome)
 	errCh := make(chan error, 1)
 	busy := make([]time.Duration, cfg.Workers)
@@ -247,29 +407,33 @@ func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcom
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			emit := func(o outcome) bool {
+				select {
+				case out <- o:
+					runs[w]++
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			}
 			for {
-				var j job
+				var b batch
 				var ok bool
 				select {
 				case <-ctx.Done():
 					return
-				case j, ok = <-in:
+				case b, ok = <-in:
 					if !ok {
 						return
 					}
 				}
-				e := j.err
 				began := time.Now()
-				res, err := inject.Run(inject.RunConfig{
-					TestCase:      j.tc,
-					Version:       j.version,
-					Error:         &e,
-					Policy:        cfg.Policy,
-					ObservationMs: cfg.ObservationMs,
-					Seed:          runSeed(cfg.Seed, j.version, j.errIdx, j.caseIdx),
-					Recovery:      cfg.Recovery,
-					Placement:     cfg.Placement,
-				})
+				var err error
+				if engine {
+					err = runBatchEngine(cfg, b, emit)
+				} else {
+					err = runBatchScratch(cfg, b, emit)
+				}
 				busy[w] += time.Since(began)
 				if err != nil {
 					select {
@@ -279,20 +443,14 @@ func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcom
 					cancel()
 					return
 				}
-				runs[w]++
-				select {
-				case out <- outcome{job: j, res: res}:
-				case <-ctx.Done():
-					return
-				}
 			}
 		}()
 	}
 	go func() {
 		defer close(in)
-		for _, j := range jobs {
+		for _, b := range batches {
 			select {
-			case in <- j:
+			case in <- b:
 			case <-ctx.Done():
 				return
 			}
@@ -310,7 +468,7 @@ func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcom
 		collect(o)
 		completed++
 		if cfg.Journal != nil && journalErr == nil {
-			seed := runSeed(cfg.Seed, o.job.version, o.job.errIdx, o.job.caseIdx)
+			seed := runSeed(cfg.Seed, o.job.caseIdx)
 			if err := cfg.Journal.Run(record(exp, o, seed)); err != nil {
 				journalErr = err
 				cancel()

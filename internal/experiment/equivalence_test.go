@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"easig/internal/inject"
+	"easig/internal/journal"
+	"easig/internal/target"
+)
+
+// equivalenceConfig scales the campaign so the snapshot engine's
+// quiet-window exit is actually exercised (the nominal stop of the
+// grid-1 case is near 10.5 s, so a 16 s window leaves room for the
+// stop, the quiet window and a post-quiet tail) while the from-scratch
+// reference stays affordable in CI.
+func equivalenceConfig(seed int64, journalPath string, fromScratch bool) (Config, *journal.Writer, error) {
+	var w *journal.Writer
+	var err error
+	if journalPath != "" {
+		w, err = journal.Create(journalPath)
+		if err != nil {
+			return Config{}, nil, err
+		}
+	}
+	return Config{
+		Grid:          1,
+		ObservationMs: 16000,
+		Seed:          seed,
+		E2:            inject.E2Spec{RAM: 40, Stack: 16},
+		Journal:       w,
+		FromScratch:   fromScratch,
+	}, w, nil
+}
+
+// loadRecords returns the journal's per-run records keyed by
+// coordinates.
+func loadRecords(t *testing.T, path, exp string) map[journal.Key]journal.Record {
+	t.Helper()
+	log, err := journal.Load(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	return log.Lookup(exp)
+}
+
+// diffRecords compares two journal record sets field by field.
+func diffRecords(t *testing.T, mode string, snap, scratch map[journal.Key]journal.Record) {
+	t.Helper()
+	if len(snap) != len(scratch) {
+		t.Fatalf("%s: snapshot journal has %d records, from-scratch %d", mode, len(snap), len(scratch))
+	}
+	mismatches := 0
+	for k, a := range snap {
+		b, ok := scratch[k]
+		if !ok {
+			t.Fatalf("%s: run %+v missing from from-scratch journal", mode, k)
+		}
+		if !reflect.DeepEqual(a, b) {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("%s run %+v:\n snapshot %+v\n  scratch %+v", mode, k, a, b)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%s: %d of %d run outcomes differ", mode, mismatches, len(snap))
+	}
+}
+
+// TestE1SnapshotEquivalence is the tentpole acceptance test: an E1
+// campaign served by the snapshot/fast-forward engine renders
+// byte-identical Tables 7 and 8 and journals identical per-run
+// outcomes versus the same campaign executed from scratch with the
+// same seed.
+func TestE1SnapshotEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "snap.jsonl")
+	scratchPath := filepath.Join(dir, "scratch.jsonl")
+
+	cfgSnap, wSnap, err := equivalenceConfig(11, snapPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := RunE1(cfgSnap)
+	if cerr := wSnap.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("snapshot E1: %v", err)
+	}
+
+	cfgScratch, wScratch, err := equivalenceConfig(11, scratchPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := RunE1(cfgScratch)
+	if cerr := wScratch.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("from-scratch E1: %v", err)
+	}
+
+	if a, b := Table7(snap), Table7(scratch); a != b {
+		t.Errorf("Table 7 differs:\nsnapshot:\n%s\nfrom scratch:\n%s", a, b)
+	}
+	if a, b := Table8(snap), Table8(scratch); a != b {
+		t.Errorf("Table 8 differs:\nsnapshot:\n%s\nfrom scratch:\n%s", a, b)
+	}
+	diffRecords(t, ExperimentE1, loadRecords(t, snapPath, ExperimentE1), loadRecords(t, scratchPath, ExperimentE1))
+
+	// Sanity: the campaign exercised detections, misses and failures,
+	// so the equality above is not vacuous.
+	vi := snap.versionIndex(target.VersionAll)
+	total := snap.TotalCoverage(vi)
+	if total.All.Detected == 0 || total.All.Detected == total.All.Total || total.Fail.Total == 0 {
+		t.Fatalf("degenerate campaign: %+v", total)
+	}
+}
+
+// TestE2SnapshotEquivalence is the same theorem for the random
+// RAM/stack error set and Table 9.
+func TestE2SnapshotEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "snap.jsonl")
+	scratchPath := filepath.Join(dir, "scratch.jsonl")
+
+	cfgSnap, wSnap, err := equivalenceConfig(23, snapPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := RunE2(cfgSnap)
+	if cerr := wSnap.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("snapshot E2: %v", err)
+	}
+
+	cfgScratch, wScratch, err := equivalenceConfig(23, scratchPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := RunE2(cfgScratch)
+	if cerr := wScratch.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("from-scratch E2: %v", err)
+	}
+
+	if a, b := Table9(snap), Table9(scratch); a != b {
+		t.Errorf("Table 9 differs:\nsnapshot:\n%s\nfrom scratch:\n%s", a, b)
+	}
+	diffRecords(t, ExperimentE2, loadRecords(t, snapPath, ExperimentE2), loadRecords(t, scratchPath, ExperimentE2))
+
+	cov, _, _ := snap.Total()
+	if cov.All.Detected == 0 || cov.All.Detected == cov.All.Total {
+		t.Fatalf("degenerate campaign: %+v", cov)
+	}
+}

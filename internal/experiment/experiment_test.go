@@ -13,20 +13,24 @@ import (
 )
 
 func TestRunSeedDeterministic(t *testing.T) {
-	a := runSeed(1, target.VersionAll, 3, 4)
-	b := runSeed(1, target.VersionAll, 3, 4)
+	a := runSeed(1, 4)
+	b := runSeed(1, 4)
 	if a != b {
 		t.Fatal("equal coordinates produced different seeds")
 	}
 	if a < 0 {
 		t.Error("seed must be non-negative")
 	}
+	// The seed depends on the campaign seed and the test case only:
+	// every (version, error) run of a case replays the same arrestment,
+	// which is what lets the fast-forward engine share one snapshot per
+	// case (see runSeed).
 	seen := map[int64]bool{a: true}
 	for _, s := range []int64{
-		runSeed(2, target.VersionAll, 3, 4),
-		runSeed(1, target.VersionEA1, 3, 4),
-		runSeed(1, target.VersionAll, 4, 4),
-		runSeed(1, target.VersionAll, 3, 5),
+		runSeed(2, 4),
+		runSeed(1, 5),
+		runSeed(1, 0),
+		runSeed(0, 4),
 	} {
 		if seen[s] {
 			t.Error("distinct coordinates collided")

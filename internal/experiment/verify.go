@@ -27,7 +27,7 @@ func VerifyNominal(cfg Config) error {
 				TestCase:        tc,
 				Version:         version,
 				ObservationMs:   cfg.ObservationMs,
-				Seed:            runSeed(cfg.Seed, version, -1, ci),
+				Seed:            runSeed(cfg.Seed, ci),
 				Recovery:        cfg.Recovery,
 				Placement:       cfg.Placement,
 				FullObservation: true,

@@ -1,0 +1,59 @@
+package memory
+
+import "fmt"
+
+// Image is a reusable point-in-time copy of a Memory's contents — the
+// paper's 417-byte application RAM and 1008-byte stack captured as one
+// flat buffer. Unlike Snapshot/Restore, which allocate per call, an
+// Image is captured into and restored from in place, so the
+// fast-forward engine's per-error restore performs no heap allocation:
+// the first Capture sizes the buffer, every later Capture and Restore
+// is a pair of copies.
+//
+// The zero value is ready for Capture.
+type Image struct {
+	data  []byte
+	sizes []int
+}
+
+// Len returns the total number of captured bytes (zero before the
+// first Capture).
+func (img *Image) Len() int { return len(img.data) }
+
+// Capture copies the full memory contents into the image, growing the
+// buffer only on first use (or when the region layout changed).
+func (m *Memory) Capture(img *Image) {
+	total := 0
+	for i := range m.regions {
+		total += len(m.regions[i].data)
+	}
+	if cap(img.data) < total {
+		img.data = make([]byte, total)
+		img.sizes = make([]int, len(m.regions))
+	}
+	img.data = img.data[:total]
+	img.sizes = img.sizes[:0]
+	off := 0
+	for i := range m.regions {
+		n := copy(img.data[off:], m.regions[i].data)
+		img.sizes = append(img.sizes, n)
+		off += n
+	}
+}
+
+// RestoreImage copies a captured image back into the memory. The image
+// must come from a memory with the same region layout.
+func (m *Memory) RestoreImage(img *Image) error {
+	if len(img.sizes) != len(m.regions) {
+		return fmt.Errorf("memory: image has %d regions, memory has %d", len(img.sizes), len(m.regions))
+	}
+	off := 0
+	for i := range m.regions {
+		if img.sizes[i] != len(m.regions[i].data) {
+			return fmt.Errorf("memory: image region %d holds %d bytes, memory region holds %d",
+				i, img.sizes[i], len(m.regions[i].data))
+		}
+		off += copy(m.regions[i].data, img.data[off:off+img.sizes[i]])
+	}
+	return nil
+}

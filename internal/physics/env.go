@@ -2,7 +2,6 @@ package physics
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // FailureKind classifies a constraint violation per the paper's §3.3.
@@ -60,7 +59,7 @@ type Env struct {
 	cst   Constants
 	tc    TestCase
 	fmaxN float64
-	rng   *rand.Rand
+	rng   noiseRNG
 
 	nowMs   int64
 	x       float64 // pulled-out cable / aircraft travel (m)
@@ -93,7 +92,7 @@ func NewEnv(cst Constants, table ForceTable, tc TestCase, seed int64) (*Env, err
 		cst:   cst,
 		tc:    tc,
 		fmaxN: table.Fmax(tc.MassKg, tc.VelocityMS),
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   newNoiseRNG(seed),
 		v:     tc.VelocityMS,
 	}, nil
 }
@@ -180,7 +179,7 @@ func (e *Env) RotationPulses() uint16 {
 // counts of PressureUnitKPa, including bounded uniform sensor noise,
 // clamped to the converter's 16-bit range.
 func (e *Env) ReadPressure(drum int) uint16 {
-	v := (e.p[drum] + (e.rng.Float64()*2-1)*e.cst.SensorNoiseKPa) / PressureUnitKPa
+	v := (e.p[drum] + (e.rng.float64()*2-1)*e.cst.SensorNoiseKPa) / PressureUnitKPa
 	if v < 0 {
 		v = 0
 	}

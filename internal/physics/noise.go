@@ -1,0 +1,32 @@
+package physics
+
+// noiseRNG is the sensor-noise generator: a splitmix64 stream reduced
+// to float64. It replaces math/rand so the generator state is a single
+// copyable word — the property the snapshot/fast-forward engine needs
+// to checkpoint a plant mid-run and restore it bit-exactly (the paper's
+// FIC3 campaigns re-run the same arrestment prefix for every error of a
+// test case; cloning the generator keeps the noise sequence identical
+// across those clones).
+type noiseRNG struct {
+	state uint64
+}
+
+// newNoiseRNG seeds the stream. Distinct seeds give uncorrelated
+// streams; equal seeds give identical streams.
+func newNoiseRNG(seed int64) noiseRNG {
+	return noiseRNG{state: uint64(seed)}
+}
+
+// next returns the next 64-bit word of the stream (splitmix64).
+func (r *noiseRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform sample in [0, 1) with 53 bits of precision.
+func (r *noiseRNG) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

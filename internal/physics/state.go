@@ -1,0 +1,85 @@
+package physics
+
+import "fmt"
+
+// State is a value-type checkpoint of a plant's complete mutable state:
+// kinematics, valve pressures and commands, the failure/stop latches,
+// the force/retardation peaks, and the sensor-noise generator state.
+// Together with the node memory images captured by internal/target it
+// forms the per-(test case, injection time) snapshot the fast-forward
+// engine clones for every error of the paper's §3.4 campaigns.
+//
+// State is a plain struct with no references into the Env, so copying
+// the value is a deep copy.
+type State struct {
+	nowMs   int64
+	x       float64
+	v       float64
+	accel   float64
+	force   float64
+	p       [2]float64
+	cmd     [2]float64
+	cmdAt   [2]int64
+	stopped bool
+	stopMs  int64
+
+	failure  Failure
+	failed   bool
+	maxForce float64
+	maxAccel float64
+
+	rng noiseRNG
+
+	// Captured static identity, used to reject cross-plant restores.
+	tc TestCase
+}
+
+// State captures the plant's mutable state. The returned value is
+// self-contained; a later RestoreState rewinds the plant to this exact
+// point, including the noise sequence.
+func (e *Env) State() State {
+	return State{
+		nowMs:    e.nowMs,
+		x:        e.x,
+		v:        e.v,
+		accel:    e.accel,
+		force:    e.force,
+		p:        e.p,
+		cmd:      e.cmd,
+		cmdAt:    e.cmdAt,
+		stopped:  e.stopped,
+		stopMs:   e.stopMs,
+		failure:  e.failure,
+		failed:   e.failed,
+		maxForce: e.maxForce,
+		maxAccel: e.maxAccel,
+		rng:      e.rng,
+		tc:       e.tc,
+	}
+}
+
+// RestoreState rewinds the plant to a previously captured State. The
+// state must come from an Env built for the same test case: constants
+// and the force limit are construction-time properties, so a snapshot
+// from a differently built plant would silently mix physics.
+func (e *Env) RestoreState(s State) error {
+	if s.tc != e.tc {
+		return fmt.Errorf("physics: state captured for test case %+v, plant runs %+v", s.tc, e.tc)
+	}
+	e.nowMs = s.nowMs
+	e.x = s.x
+	e.v = s.v
+	e.accel = s.accel
+	e.force = s.force
+	e.p = s.p
+	e.cmd = s.cmd
+	e.cmdAt = s.cmdAt
+	e.stopped = s.stopped
+	e.stopMs = s.stopMs
+	e.failure = s.failure
+	e.failed = s.failed
+	e.maxForce = s.maxForce
+	e.maxAccel = s.maxAccel
+	e.rng = s.rng
+	return nil
+}

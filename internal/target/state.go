@@ -1,0 +1,98 @@
+package target
+
+import (
+	"easig/internal/core"
+	"easig/internal/memory"
+	"easig/internal/physics"
+)
+
+// NodeState is a checkpoint of one node: its full memory image (RAM and
+// stack, which covers the seven signals, the control state, the CALC
+// locals, the canaries and the monitors' previous values s'), the crash
+// latches, and the non-memory monitor state.
+type NodeState struct {
+	// Mem is the node's RAM+stack image.
+	Mem memory.Image
+	// Dead and CalcDead are the crash latches.
+	Dead, CalcDead bool
+	// Mons holds the per-EA monitor state; entries for monitors the
+	// built version omits are zero and ignored on restore.
+	Mons [NumEAs]core.MonitorState
+}
+
+// SystemState is a checkpoint of the complete arresting system — both
+// nodes, the set-point link and the plant. The fast-forward engine of
+// internal/inject captures one SystemState per (test case, injection
+// time) at the moment before the first bit-flip of the paper's §3.4
+// time-triggered injection (FIC3, 20 ms period starting at 500 ms) and
+// restores it for every error of the test case, so the shared nominal
+// prefix is simulated once instead of once per error.
+//
+// A SystemState is reusable: Capture overwrites it in place, and after
+// the first Capture neither Capture nor Restore allocates.
+type SystemState struct {
+	// Master and Slave are the node checkpoints.
+	Master, Slave NodeState
+	// LinkVal, LinkAt and LinkValid mirror the set-point link latch.
+	LinkVal   uint16
+	LinkAt    int64
+	LinkValid bool
+	// Env is the plant checkpoint.
+	Env physics.State
+}
+
+// capture fills st from the node.
+func (n *Node) capture(st *NodeState) {
+	n.mem.Capture(&st.Mem)
+	st.Dead = n.dead
+	st.CalcDead = n.calcDead
+	for k, m := range n.mons {
+		if m != nil {
+			st.Mons[k] = m.State()
+		}
+	}
+}
+
+// restore rewinds the node to st.
+func (n *Node) restore(st *NodeState) error {
+	if err := n.mem.RestoreImage(&st.Mem); err != nil {
+		return err
+	}
+	n.dead = st.Dead
+	n.calcDead = st.CalcDead
+	for k, m := range n.mons {
+		if m != nil {
+			m.RestoreState(st.Mons[k])
+		}
+	}
+	return nil
+}
+
+// Capture checkpoints the complete system state into st, reusing st's
+// buffers when it has been captured into before.
+func (s *System) Capture(st *SystemState) {
+	s.master.capture(&st.Master)
+	s.slave.capture(&st.Slave)
+	st.LinkVal = s.lnk.val
+	st.LinkAt = s.lnk.at
+	st.LinkValid = s.lnk.valid
+	st.Env = s.env.State()
+}
+
+// Restore rewinds the system to a state captured from a system with the
+// same build (test case, versions, placement): the snapshot carries
+// only mutable state, so restoring into a differently built system is
+// rejected where detectable (region layout, test case) and undefined
+// otherwise.
+func (s *System) Restore(st *SystemState) error {
+	if err := s.master.restore(&st.Master); err != nil {
+		return err
+	}
+	if err := s.slave.restore(&st.Slave); err != nil {
+		return err
+	}
+	s.lnk.val = st.LinkVal
+	s.lnk.at = st.LinkAt
+	s.lnk.valid = st.LinkValid
+	return s.env.RestoreState(st.Env)
+}

@@ -44,6 +44,12 @@ func (v Version) enables(ea int) bool {
 	return v == VersionAll || int(v) == ea
 }
 
+// Enables reports whether executable assertion ea (1-based, EA1..EA7)
+// is active in this version build. The fast-forward engine of
+// internal/inject uses it to project an all-assertions profile run onto
+// each version's enabled subset.
+func (v Version) Enables(ea int) bool { return v.enables(ea) }
+
 // String renders the version as in the paper's tables.
 func (v Version) String() string {
 	switch {
