@@ -176,19 +176,17 @@ func BenchmarkEngineErrorRun(b *testing.B) {
 	b.ReportMetric(float64(len(versions)), "derived-runs/op")
 }
 
-// BenchmarkCampaignE1Snapshot and BenchmarkCampaignE1FromScratch are
-// the before/after pair for the fast-forward engine: the same scaled
-// E1 campaign (one test case, all eight versions, 16 s window) served
-// from snapshots versus simulated from time zero. Their ns/op ratio is
-// the campaign speedup.
-func benchScaledE1(b *testing.B, fromScratch bool) {
+// BenchmarkCampaignE1Snapshot, BenchmarkCampaignE1Literal and
+// BenchmarkCampaignE1Memo run the same scaled E1 campaign (one test
+// case, all eight versions, 16 s window) under each engine mode. The
+// snapshot/literal ns/op ratio is the fast-forward speedup; memo adds
+// liveness pruning and outcome memoization on top.
+func benchScaledE1(b *testing.B, mode easig.EngineMode) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r, err := easig.RunE1(easig.CampaignConfig{
-			Grid:          1,
-			Seed:          1,
-			ObservationMs: 16000,
-			FromScratch:   fromScratch,
+			Spec: easig.CampaignSpec{Grid: 1, Seed: 1, ObservationMs: 16000},
+			Exec: easig.CampaignExec{Mode: mode},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -199,8 +197,9 @@ func benchScaledE1(b *testing.B, fromScratch bool) {
 	}
 }
 
-func BenchmarkCampaignE1Snapshot(b *testing.B)    { benchScaledE1(b, false) }
-func BenchmarkCampaignE1FromScratch(b *testing.B) { benchScaledE1(b, true) }
+func BenchmarkCampaignE1Snapshot(b *testing.B) { benchScaledE1(b, easig.EngineSnapshot) }
+func BenchmarkCampaignE1Literal(b *testing.B)  { benchScaledE1(b, easig.EngineLiteral) }
+func BenchmarkCampaignE1Memo(b *testing.B)     { benchScaledE1(b, easig.EngineMemo) }
 
 // --- Table benchmarks ---
 
@@ -217,10 +216,12 @@ func BenchmarkTable6BuildE1(b *testing.B) {
 // scaledE1 is the shared scaled-down E1 protocol for table benchmarks.
 func scaledE1(seed int64, versions ...easig.Version) easig.CampaignConfig {
 	return easig.CampaignConfig{
-		Grid:          1,
-		Seed:          seed,
-		ObservationMs: 6000,
-		Versions:      versions,
+		Spec: easig.CampaignSpec{
+			Grid:          1,
+			Seed:          seed,
+			ObservationMs: 6000,
+			Versions:      versions,
+		},
 	}
 }
 
@@ -269,10 +270,12 @@ func BenchmarkTable9E2Campaign(b *testing.B) {
 	var last *easig.E2Result
 	for i := 0; i < b.N; i++ {
 		r, err := easig.RunE2(easig.CampaignConfig{
-			Grid:          1,
-			Seed:          int64(i),
-			ObservationMs: 6000,
-			E2:            inject.E2Spec{RAM: 24, Stack: 8},
+			Spec: easig.CampaignSpec{
+				Grid:          1,
+				Seed:          int64(i),
+				ObservationMs: 6000,
+				E2:            inject.E2Spec{RAM: 24, Stack: 8},
+			},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -376,8 +379,10 @@ func BenchmarkAblationVersionEA1(b *testing.B) {
 
 func BenchmarkTableRendering(b *testing.B) {
 	r, err := experiment.RunE1(experiment.Config{
-		Grid: 1, Seed: 1, ObservationMs: 4000,
-		Versions: []target.Version{target.VersionAll},
+		Spec: experiment.Spec{
+			Grid: 1, Seed: 1, ObservationMs: 4000,
+			Versions: []target.Version{target.VersionAll},
+		},
 	})
 	if err != nil {
 		b.Fatal(err)

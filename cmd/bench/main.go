@@ -1,21 +1,22 @@
 // Command bench is the repository's benchmark ledger: it measures the
-// simulator's per-tick hot path, the snapshot engine, and the scaled
-// E1 campaign in both execution modes, and writes the results as a
-// JSON ledger (BENCH_PR4.json) so every future change has a perf
-// trajectory to diff against. It doubles as the CI regression gate:
-// the run fails if the per-tick hot path allocates.
+// simulator's per-tick hot path, the snapshot engine, the scaled E1
+// campaign in snapshot and literal modes, and the exhaustive E2 fault
+// space in memo vs. snapshot mode, and writes the results as a JSON
+// ledger (BENCH_PR6.json) so every future change has a perf trajectory
+// to diff against. It doubles as the CI regression gate: the run fails
+// if the per-tick hot path allocates, or if the memo/prune runner loses
+// its speedup over the plain snapshot engine on the exhaustive grid.
 //
 // Usage:
 //
-//	bench                    # write BENCH_PR4.json in the current directory
+//	bench                    # write BENCH_PR6.json in the current directory
 //	bench -out ledger.json   # write elsewhere
 //	bench -observe 40000     # measure at the paper's full window
 //
 // The campaign rows use a scaled protocol (one test case, 16 s window
-// by default) so the ledger regenerates in well under a minute; the
-// speedup at the paper's full 40 s window is strictly larger, because
-// the from-scratch mode pays for the whole window while the snapshot
-// engine stops at the settled outcome.
+// by default) so the ledger regenerates in about a minute; the speedups
+// at the paper's full 40 s window are strictly larger, because the
+// slower mode pays for more of the window per run.
 package main
 
 import (
@@ -40,7 +41,7 @@ type row struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// ledger is the BENCH_PR4.json document.
+// ledger is the BENCH_PR6.json document.
 type ledger struct {
 	Schema        string `json:"schema"`
 	Go            string `json:"go"`
@@ -60,13 +61,28 @@ type ledger struct {
 	DerivedRunsPerOp int     `json:"engine_derived_runs_per_op"`
 	EngineRunsPerSec float64 `json:"engine_runs_per_sec"`
 
-	// CampaignE1 compares the scaled E1 campaign in both modes.
-	CampaignSnapshotWallMs        int64   `json:"campaign_e1_snapshot_wall_ms"`
-	CampaignFromScratchWallMs     int64   `json:"campaign_e1_from_scratch_wall_ms"`
-	CampaignRuns                  int     `json:"campaign_e1_runs"`
-	CampaignSnapshotRunsPerSec    float64 `json:"campaign_e1_snapshot_runs_per_sec"`
-	CampaignFromScratchRunsPerSec float64 `json:"campaign_e1_from_scratch_runs_per_sec"`
-	CampaignSpeedup               float64 `json:"campaign_e1_speedup"`
+	// CampaignE1 compares the scaled E1 campaign in snapshot vs.
+	// literal mode (the PR 4 comparison, kept for trajectory).
+	CampaignSnapshotWallMs     int64   `json:"campaign_e1_snapshot_wall_ms"`
+	CampaignLiteralWallMs      int64   `json:"campaign_e1_literal_wall_ms"`
+	CampaignRuns               int     `json:"campaign_e1_runs"`
+	CampaignSnapshotRunsPerSec float64 `json:"campaign_e1_snapshot_runs_per_sec"`
+	CampaignLiteralRunsPerSec  float64 `json:"campaign_e1_literal_runs_per_sec"`
+	CampaignSpeedup            float64 `json:"campaign_e1_speedup"`
+
+	// Exhaustive compares the full 11 400-position E2 fault space in
+	// memo (liveness pruning + outcome memoization) vs. snapshot mode
+	// — the PR 6 headline. PruneRate is the fraction of the fault
+	// space proven benign with zero simulation.
+	ExhaustiveRuns               int     `json:"exhaustive_runs"`
+	ExhaustiveSnapshotWallMs     int64   `json:"exhaustive_snapshot_wall_ms"`
+	ExhaustiveMemoWallMs         int64   `json:"exhaustive_memo_wall_ms"`
+	ExhaustiveSnapshotRunsPerSec float64 `json:"exhaustive_snapshot_runs_per_sec"`
+	ExhaustiveMemoRunsPerSec     float64 `json:"exhaustive_memo_runs_per_sec"`
+	ExhaustiveSpeedup            float64 `json:"exhaustive_memo_speedup"`
+	ExhaustivePruneRate          float64 `json:"exhaustive_prune_rate"`
+	ExhaustiveMemoHitRate        float64 `json:"exhaustive_memo_hit_rate"`
+	ExhaustivePdetectPct         float64 `json:"exhaustive_pdetect_pct"`
 }
 
 func toRow(r testing.BenchmarkResult) row {
@@ -82,7 +98,7 @@ func main() {
 
 func run() error {
 	var (
-		out     = flag.String("out", "BENCH_PR4.json", "ledger output path")
+		out     = flag.String("out", "BENCH_PR6.json", "ledger output path")
 		grid    = flag.Int("grid", 1, "campaign test-case grid edge")
 		observe = flag.Int64("observe", 16000, "campaign observation window in ms")
 		seed    = flag.Int64("seed", 1, "campaign seed")
@@ -91,7 +107,7 @@ func run() error {
 
 	tc := easig.TestCase{MassKg: 14000, VelocityMS: 55}
 	led := ledger{
-		Schema:        "easig-bench/1",
+		Schema:        "easig-bench/2",
 		Go:            runtime.Version(),
 		GOARCH:        runtime.GOARCH,
 		Grid:          *grid,
@@ -150,40 +166,79 @@ func run() error {
 		led.EngineRunsPerSec = float64(led.DerivedRunsPerOp) * 1e9 / led.EngineErrorRun.NsPerOp
 	}
 
-	// Campaign wall-clock, both modes, same protocol and seed.
-	campaign := func(fromScratch bool) (time.Duration, int, error) {
+	// E1 campaign wall-clock, snapshot vs. literal, same protocol and
+	// seed (the PR 4 comparison).
+	e1 := func(mode easig.EngineMode) (time.Duration, int, error) {
 		start := time.Now()
 		r, err := easig.RunE1(easig.CampaignConfig{
-			Grid:          *grid,
-			Seed:          *seed,
-			ObservationMs: *observe,
-			FromScratch:   fromScratch,
+			Spec: easig.CampaignSpec{Grid: *grid, Seed: *seed, ObservationMs: *observe},
+			Exec: easig.CampaignExec{Mode: mode},
 		})
 		if err != nil {
 			return 0, 0, err
 		}
 		return time.Since(start), r.Runs, nil
 	}
-	snapWall, runs, err := campaign(false)
+	snapWall, runs, err := e1(easig.EngineSnapshot)
 	if err != nil {
 		return err
 	}
-	scratchWall, _, err := campaign(true)
+	literalWall, _, err := e1(easig.EngineLiteral)
 	if err != nil {
 		return err
 	}
 	led.CampaignSnapshotWallMs = snapWall.Milliseconds()
-	led.CampaignFromScratchWallMs = scratchWall.Milliseconds()
+	led.CampaignLiteralWallMs = literalWall.Milliseconds()
 	led.CampaignRuns = runs
 	if s := snapWall.Seconds(); s > 0 {
 		led.CampaignSnapshotRunsPerSec = float64(runs) / s
 	}
-	if s := scratchWall.Seconds(); s > 0 {
-		led.CampaignFromScratchRunsPerSec = float64(runs) / s
+	if s := literalWall.Seconds(); s > 0 {
+		led.CampaignLiteralRunsPerSec = float64(runs) / s
 	}
 	if snapWall > 0 {
-		led.CampaignSpeedup = float64(scratchWall) / float64(snapWall)
+		led.CampaignSpeedup = float64(literalWall) / float64(snapWall)
 	}
+
+	// Exhaustive fault space, memo vs. snapshot (the PR 6 headline):
+	// all 11 400 (byte, bit) positions, the snapshot engine simulating
+	// each one vs. the memo runner pruning the dead ones via the
+	// liveness pass and memoizing the rest.
+	exhaustive := func(mode easig.EngineMode) (time.Duration, *easig.E2Result, error) {
+		start := time.Now()
+		r, err := easig.RunE2(easig.CampaignConfig{
+			Spec: easig.CampaignSpec{Grid: *grid, Seed: *seed, ObservationMs: *observe, Exhaustive: true},
+			Exec: easig.CampaignExec{Mode: mode},
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		return time.Since(start), r, nil
+	}
+	memoWall, memoRes, err := exhaustive(easig.EngineMemo)
+	if err != nil {
+		return err
+	}
+	exSnapWall, _, err := exhaustive(easig.EngineSnapshot)
+	if err != nil {
+		return err
+	}
+	led.ExhaustiveRuns = memoRes.Runs
+	led.ExhaustiveSnapshotWallMs = exSnapWall.Milliseconds()
+	led.ExhaustiveMemoWallMs = memoWall.Milliseconds()
+	if s := exSnapWall.Seconds(); s > 0 {
+		led.ExhaustiveSnapshotRunsPerSec = float64(memoRes.Runs) / s
+	}
+	if s := memoWall.Seconds(); s > 0 {
+		led.ExhaustiveMemoRunsPerSec = float64(memoRes.Runs) / s
+	}
+	if memoWall > 0 {
+		led.ExhaustiveSpeedup = float64(exSnapWall) / float64(memoWall)
+	}
+	led.ExhaustivePruneRate = memoRes.Metrics.PruneRate
+	led.ExhaustiveMemoHitRate = memoRes.Metrics.MemoHitRate
+	cov, _, _ := memoRes.Total()
+	led.ExhaustivePdetectPct = cov.All.Percent()
 
 	buf, err := json.MarshalIndent(led, "", "  ")
 	if err != nil {
@@ -193,12 +248,14 @@ func run() error {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: tick %.0f ns/op %d allocs/op; engine %.0f runs/s; campaign speedup %.1fx; wrote %s\n",
-		led.Tick.NsPerOp, led.Tick.AllocsPerOp, led.EngineRunsPerSec, led.CampaignSpeedup, *out)
+	fmt.Fprintf(os.Stderr, "bench: tick %.0f ns/op %d allocs/op; engine %.0f runs/s; E1 speedup %.1fx; exhaustive %.1fx (%.1f%% pruned, %.1f%% memo hits); wrote %s\n",
+		led.Tick.NsPerOp, led.Tick.AllocsPerOp, led.EngineRunsPerSec, led.CampaignSpeedup,
+		led.ExhaustiveSpeedup, 100*led.ExhaustivePruneRate, 100*led.ExhaustiveMemoHitRate, *out)
 
-	// Regression gates: a heap allocation on the tick path or a
-	// campaign slower than from-scratch execution fails the run (and
-	// the CI benchmark job with it).
+	// Regression gates: a heap allocation on the tick path, a snapshot
+	// campaign slower than literal, or a memo/prune runner that lost
+	// its edge over the plain snapshot engine fails the run (and the CI
+	// benchmark job with it).
 	if led.Tick.AllocsPerOp != 0 {
 		return fmt.Errorf("per-tick hot path allocates (%d allocs/op); the zero-allocation gate failed", led.Tick.AllocsPerOp)
 	}
@@ -206,7 +263,10 @@ func run() error {
 		return fmt.Errorf("snapshot capture/restore allocates (%d allocs/op)", led.SnapshotCaptureRestore.AllocsPerOp)
 	}
 	if led.CampaignSpeedup < 1 {
-		return fmt.Errorf("snapshot campaign slower than from-scratch (speedup %.2fx)", led.CampaignSpeedup)
+		return fmt.Errorf("snapshot campaign slower than literal (speedup %.2fx)", led.CampaignSpeedup)
+	}
+	if led.ExhaustiveSpeedup < 5 {
+		return fmt.Errorf("memo/prune runner below the 5x gate on the exhaustive grid (speedup %.2fx)", led.ExhaustiveSpeedup)
 	}
 	return nil
 }

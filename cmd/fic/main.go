@@ -10,6 +10,7 @@
 //	fic -experiment e1           # Tables 7 and 8 (22 400 runs at full scale)
 //	fic -experiment e2           # Table 9 (5000 runs)
 //	fic -experiment all          # everything plus the headline block
+//	fic exhaustive               # measured Pdetect over the full 11 400-error fault space
 //	fic -print table4|table6|figure2
 //	fic -grid 3                  # scale the test-case grid down (3x3)
 //	fic -recovery previous       # ablation: recovery repairs state
@@ -19,16 +20,18 @@
 //	fic -resume runs.jsonl       # resume an interrupted campaign
 //	fic -progress                # periodic progress line on stderr
 //	fic -metrics                 # final JSON metrics block on stdout
-//	fic -snapshot=off            # escape hatch: simulate every run from time zero
+//	fic -engine literal          # escape hatch: simulate every run from time zero
 //
-// By default campaigns run on the snapshot/fast-forward engine: each
-// test case is fast-forwarded once to the first injection time, every
-// error run clones that checkpoint, and the eight version builds are
-// derived from a single all-assertions profile run — rendering tables
-// byte-identical to from-scratch execution (see PERFORMANCE.md).
-// -snapshot=off forces the literal per-run simulation the hardware
-// FIC3 performed; campaigns with -recovery previous fall back to it
-// automatically.
+// The -engine flag selects the execution engine behind the unified
+// Runner API: auto (default — snapshot for detection-only campaigns,
+// literal otherwise), literal (every run from time zero, as the
+// hardware FIC3 ran), snapshot (one fast-forwarded checkpoint per test
+// case, version builds derived from one profile run), or memo
+// (snapshot plus def/use liveness pruning and outcome memoization).
+// All engines render byte-identical tables (see PERFORMANCE.md). The
+// exhaustive experiment defaults to the memo engine — pruning is what
+// makes the full fault space affordable. The old -snapshot=on|off flag
+// is a deprecated alias for -engine=auto|literal.
 package main
 
 import (
@@ -70,9 +73,18 @@ func run() error {
 		resumeF     = flag.String("resume", "", "resume an interrupted campaign from its journal (keeps appending to it)")
 		progressF   = flag.Bool("progress", false, "render a periodic progress line on stderr")
 		metricsF    = flag.Bool("metrics", false, "print a final JSON metrics block (runs/sec, wall time, per-worker utilization)")
-		snapshotF   = flag.String("snapshot", "on", "fast-forward engine: on (default) or off (simulate every run from time zero)")
+		engineF     = flag.String("engine", "auto", "execution engine: auto, literal, snapshot or memo")
+		snapshotF   = flag.String("snapshot", "", "deprecated: -snapshot=on|off is an alias for -engine=auto|literal")
 	)
 	flag.Parse()
+
+	experiment := *experimentF
+	if flag.NArg() == 1 && experiment == "" {
+		// `fic exhaustive` (and friends) as a positional command.
+		experiment = flag.Arg(0)
+	} else if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", flag.Args())
+	}
 
 	switch *printF {
 	case "":
@@ -104,21 +116,45 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	cfg := easig.CampaignConfig{
-		Grid:          *grid,
-		Seed:          *seed,
-		Workers:       *workers,
-		Recovery:      rp,
-		ObservationMs: *observe,
-		Policy:        inject.Policy{StartMs: *start, PeriodMs: *period},
-		Context:       ctx,
+	mode, err := easig.ParseEngineMode(*engineF)
+	if err != nil {
+		return err
 	}
 	switch *snapshotF {
-	case "on":
-	case "off":
-		cfg.FromScratch = true
+	case "":
+	case "on", "off":
+		if *engineF != "auto" {
+			return fmt.Errorf("-snapshot and -engine are exclusive; -snapshot is a deprecated alias for -engine")
+		}
+		fmt.Fprintln(os.Stderr, "fic: -snapshot is deprecated, use -engine=auto|literal|snapshot|memo")
+		if *snapshotF == "off" {
+			mode = easig.EngineLiteral
+		}
 	default:
 		return fmt.Errorf("unknown -snapshot %q (want on or off)", *snapshotF)
+	}
+
+	cfg := easig.CampaignConfig{
+		Spec: easig.CampaignSpec{
+			Grid:          *grid,
+			Seed:          *seed,
+			ObservationMs: *observe,
+			Policy:        inject.Policy{StartMs: *start, PeriodMs: *period},
+		},
+		Exec: easig.CampaignExec{
+			Mode:     mode,
+			Workers:  *workers,
+			Recovery: rp,
+			Context:  ctx,
+		},
+	}
+	if experiment == "exhaustive" {
+		cfg.Exhaustive = true
+		if mode == easig.EngineAuto {
+			// Pruning + memoization is what makes the full fault space
+			// affordable; auto means memo here.
+			cfg.Mode = easig.EngineMemo
+		}
 	}
 
 	if *journalF != "" && *resumeF != "" {
@@ -173,11 +209,10 @@ func run() error {
 	}
 
 	var (
-		e1  *easig.E1Result
-		e2  *easig.E2Result
-		err error
+		e1 *easig.E1Result
+		e2 *easig.E2Result
 	)
-	switch *experimentF {
+	switch experiment {
 	case "e1", "all":
 		began := time.Now()
 		fmt.Fprintf(os.Stderr, "fic: running E1 (%d errors x %d cases x 8 versions)...\n", 112, *grid**grid)
@@ -189,20 +224,36 @@ func run() error {
 		fmt.Println(easig.Table7(e1))
 		fmt.Println(easig.Table8(e1))
 		fmt.Println(easig.DetectionBreakdown(e1, easig.VersionAll))
-	case "e2":
+	case "e2", "exhaustive":
 	case "":
-		return fmt.Errorf("nothing to do: pass -experiment e1|e2|all or -print table4|table6|figure2")
+		return fmt.Errorf("nothing to do: pass -experiment e1|e2|exhaustive|all or -print table4|table6|figure2")
 	default:
-		return fmt.Errorf("unknown -experiment %q", *experimentF)
+		return fmt.Errorf("unknown experiment %q", experiment)
 	}
-	if *experimentF == "e2" || *experimentF == "all" {
+	if experiment == "e2" || experiment == "exhaustive" || experiment == "all" {
 		began := time.Now()
-		fmt.Fprintf(os.Stderr, "fic: running E2 (200 errors x %d cases)...\n", *grid**grid)
+		nErrors := 200
+		if cfg.Exhaustive {
+			nErrors = len(easig.BuildExhaustive())
+		}
+		fmt.Fprintf(os.Stderr, "fic: running %s (%d errors x %d cases)...\n",
+			map[bool]string{true: "exhaustive E2", false: "E2"}[cfg.Exhaustive], nErrors, *grid**grid)
 		if e2, err = easig.RunE2(cfg); err != nil {
 			return campaignErr(err, jw, *journalF, *resumeF)
 		}
-		fmt.Fprintf(os.Stderr, "fic: E2 done: %d runs in %v (%s)\n", e2.Runs, time.Since(began).Round(time.Second), metricsLine(e2.Metrics))
+		fmt.Fprintf(os.Stderr, "fic: %s done: %d runs in %v (%s)\n",
+			map[bool]string{true: "exhaustive E2", false: "E2"}[cfg.Exhaustive],
+			e2.Runs, time.Since(began).Round(time.Second), metricsLine(e2.Metrics))
 		fmt.Println(easig.Table9(e2))
+		if cfg.Exhaustive {
+			cov, _, _ := e2.Total()
+			fmt.Printf("Measured Pdetect over the full fault space (%d positions x %d cases): %.2f%%\n",
+				nErrors, *grid**grid, cov.All.Percent())
+			fmt.Printf("Runner: %s — %d errors served: %d simulated, %d pruned benign (%.1f%%), %d memo hits (%.1f%%)\n",
+				e2.Metrics.Runner, e2.Metrics.Errors, e2.Metrics.Simulated,
+				e2.Metrics.Pruned, 100*e2.Metrics.PruneRate,
+				e2.Metrics.MemoHits, 100*e2.Metrics.MemoHitRate)
+		}
 	}
 	if e1 != nil || e2 != nil {
 		fmt.Println(easig.ComputeHeadline(e1, e2))
@@ -248,7 +299,10 @@ func run() error {
 // campaigns (replayed runs cost no simulation time, so they are kept
 // out of the runs/s figure).
 func metricsLine(m easig.CampaignMetrics) string {
-	s := fmt.Sprintf("%.0f runs/s live", m.RunsPerSec)
+	s := fmt.Sprintf("%.0f runs/s live, %s engine", m.RunsPerSec, m.Runner)
+	if m.Pruned > 0 || m.MemoHits > 0 {
+		s += fmt.Sprintf(", %.1f%% pruned, %.1f%% memo hits", 100*m.PruneRate, 100*m.MemoHitRate)
+	}
 	if m.Resumed > 0 {
 		s += fmt.Sprintf(", %d replayed from journal", m.Resumed)
 	}

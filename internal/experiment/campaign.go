@@ -31,34 +31,63 @@ const (
 	ExperimentE1 = "E1"
 	// ExperimentE2 is the random RAM/stack error set (Table 9).
 	ExperimentE2 = "E2"
+	// ExperimentExhaustive is the full RAM/stack fault space (every
+	// (byte, bit) position — 11 400 errors) that replaces E2's
+	// 200-error sample when Spec.Exhaustive is set. It journals under
+	// its own name so an exhaustive journal can never be replayed into
+	// a sampled campaign (the error indices mean different errors).
+	ExperimentExhaustive = "E2-exhaustive"
 )
 
-// Config parameterises a campaign. The zero value runs the paper's
-// full protocol; tests scale Grid and Errors down.
-type Config struct {
+// Spec is the serializable protocol of a campaign: everything that
+// determines WHICH runs exist and what their outcomes are. Two
+// campaigns with equal Specs produce byte-identical tables regardless
+// of their Exec options (engine mode, worker count, journaling) — that
+// is the equivalence contract the runner matrix tests enforce, and it
+// is what makes Spec the wire format for a future campaign service
+// (ROADMAP item 1): a Spec can be marshalled, shipped and re-run.
+type Spec struct {
 	// Grid is the test-case grid edge: Grid*Grid <mass, velocity>
 	// cases (default 5, the paper's 25 test cases).
-	Grid int
+	Grid int `json:"grid,omitempty"`
 	// ObservationMs is the per-run observation window (default the
 	// paper's 40 s).
-	ObservationMs int64
+	ObservationMs int64 `json:"observation_ms,omitempty"`
 	// Policy is the injection schedule (default 20 ms period).
-	Policy inject.Policy
+	Policy inject.Policy `json:"policy,omitempty"`
 	// Seed derives all per-run seeds and the E2 error sample.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
+	// E2 sizes the random error set (default 150 RAM + 50 stack).
+	E2 inject.E2Spec `json:"e2,omitempty"`
+	// Exhaustive replaces the E2 sample with the full fault space:
+	// every (byte, bit) position of RAM and stack (8 × 1425 = 11 400
+	// errors), turning the paper's estimated Pdetect into a measured
+	// one. Runs as ExperimentExhaustive; E2 sizing is ignored.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Versions lists the software versions exercised by E1 (default
+	// the paper's eight: EA1..EA7 and All).
+	Versions []target.Version `json:"versions,omitempty"`
+	// Placement selects consumer-side (paper) or producer-side
+	// assertion execution (ablation).
+	Placement target.Placement `json:"placement,omitempty"`
+}
+
+// Exec is the execution side of a campaign: how the Spec's runs are
+// dispatched. None of it may change a single table cell.
+type Exec struct {
+	// Mode selects the execution engine behind the runs:
+	// inject.ModeAuto (the zero value) resolves to the snapshot engine
+	// for detection-only campaigns and to literal from-scratch runs
+	// otherwise; ModeMemo adds liveness pruning and outcome
+	// memoization on top of the snapshot engine. Snapshot and memo
+	// modes are rejected for campaigns with an active recovery policy
+	// (their equivalence argument needs detection-only runs).
+	Mode inject.Mode
 	// Workers bounds the worker pool (default GOMAXPROCS).
 	Workers int
 	// Recovery overrides the assertion recovery policy (default
 	// detection-only, core.NoRecovery; see inject.RunConfig).
 	Recovery core.RecoveryPolicy
-	// E2 sizes the random error set (default 150 RAM + 50 stack).
-	E2 inject.E2Spec
-	// Versions lists the software versions exercised by E1 (default
-	// the paper's eight: EA1..EA7 and All).
-	Versions []target.Version
-	// Placement selects consumer-side (paper) or producer-side
-	// assertion execution (ablation).
-	Placement target.Placement
 	// Context, when non-nil, cancels an in-flight campaign: workers
 	// stop promptly, the journal keeps every completed run, and the
 	// campaign returns the context's error.
@@ -73,22 +102,23 @@ type Config struct {
 	// runs. Because per-run seeds are deterministic functions of the
 	// campaign seed and run coordinates (see runSeed), a resumed
 	// campaign reproduces the uninterrupted campaign's tables byte for
-	// byte; a journal recorded under a different configuration is
-	// rejected.
+	// byte; a journal recorded under a different configuration — seed,
+	// grid or runner mode — is rejected.
 	Resume *journal.Log
 	// Progress, when non-nil, is called from the collector goroutine
 	// after every completed or replayed run with throughput,
 	// completed/total and ETA.
 	Progress func(journal.ProgressEvent)
-	// FromScratch disables the snapshot/fast-forward engine: every run
-	// builds a fresh system and simulates from time zero, as the
-	// hardware FIC3 does. The default (false) serves each test case
-	// from one fast-forwarded snapshot and derives all version builds
-	// from a single all-assertions profile run per error, which is
-	// equivalence-preserving for detection-only campaigns and renders
-	// byte-identical tables (see PERFORMANCE.md). Campaigns with an
-	// active recovery policy fall back to from-scratch automatically.
-	FromScratch bool
+}
+
+// Config parameterises a campaign: the serializable protocol Spec plus
+// the Exec dispatch options. The zero value runs the paper's full
+// protocol on the auto-resolved engine; tests scale Grid and Errors
+// down. Both halves' fields are promoted, so cfg.Grid and cfg.Workers
+// read as before the split.
+type Config struct {
+	Spec
+	Exec
 }
 
 func (c Config) withDefaults() Config {
@@ -193,9 +223,15 @@ func replayed(j job, rec journal.Record) outcome {
 // partition splits the campaign jobs into journaled outcomes (to be
 // replayed straight into the aggregators) and live jobs still to
 // dispatch. It enforces the resume soundness checks: the journal's
-// header must match the live configuration, and every replayed record's
-// stored seed must equal the seed re-derived from the run coordinates.
-func partition(cfg Config, exp string, jobs []job) (live []job, replay []outcome, err error) {
+// header must match the live configuration — seed, grid AND resolved
+// runner mode — and every replayed record's stored seed must equal the
+// seed re-derived from the run coordinates. The mode check closes the
+// double-counting hole where e.g. a memo-mode journal would silently
+// extend a literal-mode campaign: the engines are equivalence-tested,
+// but a mixed-provenance table could no longer be attributed to either.
+// Journals written before the Runner API carry no mode and resume under
+// any engine.
+func partition(cfg Config, exp string, mode inject.Mode, jobs []job) (live []job, replay []outcome, err error) {
 	if cfg.Resume == nil {
 		return jobs, nil, nil
 	}
@@ -203,6 +239,10 @@ func partition(cfg Config, exp string, jobs []job) (live []job, replay []outcome
 		if h.Seed != cfg.Seed || h.Grid != cfg.Grid {
 			return nil, nil, fmt.Errorf("experiment: journal was recorded for %s seed %d grid %d, not seed %d grid %d",
 				exp, h.Seed, h.Grid, cfg.Seed, cfg.Grid)
+		}
+		if h.Runner != "" && h.Runner != mode.String() {
+			return nil, nil, fmt.Errorf("experiment: journal was recorded by the %s engine, campaign resolves to %s — rerun with -engine=%s or a fresh journal",
+				h.Runner, mode, h.Runner)
 		}
 	}
 	byKey := cfg.Resume.Lookup(exp)
@@ -224,17 +264,11 @@ func partition(cfg Config, exp string, jobs []job) (live []job, replay []outcome
 	return live, replay, nil
 }
 
-// engineEligible reports whether the snapshot/fast-forward engine may
-// serve this campaign: it derives every version's outcome from one
-// detection-only profile run, so an active recovery policy (which makes
-// the version builds steer the plant differently) forces from-scratch
-// execution.
-func (c Config) engineEligible() bool {
-	if c.FromScratch {
-		return false
-	}
-	_, detectionOnly := c.Recovery.(core.NoRecovery)
-	return detectionOnly
+// resolveMode resolves the configured engine mode against the recovery
+// policy: auto picks snapshot for detection-only campaigns and literal
+// otherwise; explicit snapshot/memo with active recovery is an error.
+func (c Config) resolveMode() (inject.Mode, error) {
+	return c.Mode.Resolve(c.Recovery)
 }
 
 // engineBatchErrors is the number of errors a worker serves from one
@@ -252,15 +286,24 @@ type batch struct {
 }
 
 // buildBatches groups the live jobs by test case and chunks each case's
-// errors, preserving a deterministic order. From-scratch mode uses
-// single-job batches, which reproduces the old per-run dispatch.
-func buildBatches(live []job, engine bool) []batch {
-	if !engine {
+// errors, preserving a deterministic order. The chunking follows the
+// runner's amortisation scope: literal runs share nothing (single-job
+// batches, the old per-run dispatch); the snapshot engine amortises a
+// snapshot (chunks of engineBatchErrors); the memo runner amortises the
+// per-case liveness map and outcome memo, so each case becomes ONE
+// batch — splitting it would rebuild the liveness profile per chunk and
+// hide duplicate faults from the memo.
+func buildBatches(live []job, mode inject.Mode) []batch {
+	if mode == inject.ModeLiteral {
 		batches := make([]batch, 0, len(live))
 		for _, j := range live {
 			batches = append(batches, batch{caseIdx: j.caseIdx, tc: j.tc, jobs: []job{j}})
 		}
 		return batches
+	}
+	chunk := engineBatchErrors
+	if mode == inject.ModeMemo {
+		chunk = 1 << 30
 	}
 	type caseKey struct {
 		caseIdx int
@@ -283,8 +326,8 @@ func buildBatches(live []job, engine bool) []batch {
 			errIdxs = append(errIdxs, ei)
 		}
 		sort.Ints(errIdxs)
-		for from := 0; from < len(errIdxs); from += engineBatchErrors {
-			to := from + engineBatchErrors
+		for from := 0; from < len(errIdxs); from += chunk {
+			to := from + chunk
 			if to > len(errIdxs) {
 				to = len(errIdxs)
 			}
@@ -298,11 +341,15 @@ func buildBatches(live []job, engine bool) []batch {
 	return batches
 }
 
-// runBatchEngine serves one batch from a single fast-forwarded
-// snapshot: one inject.Engine per batch, one profile run per error,
-// derived results for every version the batch's jobs request.
-func runBatchEngine(cfg Config, b batch, emit func(outcome) bool) error {
-	eng, err := inject.NewEngine(inject.RunConfig{
+// runBatch serves one batch through the unified Runner API: it
+// composes the resolved mode's runner for the batch's test case (a
+// literal from-scratch runner, a fast-forward snapshot Engine, or the
+// memoizing/pruning MemoRunner) and feeds it the batch's errors, one
+// RunError per error with every version the batch's jobs request. The
+// runner's stats (simulated / pruned / memo-hit counts) are returned
+// for the campaign metrics.
+func runBatch(cfg Config, mode inject.Mode, b batch, emit func(outcome) bool) (inject.RunnerStats, error) {
+	runner, err := inject.NewRunner(mode, inject.RunConfig{
 		TestCase:      b.tc,
 		Policy:        cfg.Policy,
 		ObservationMs: cfg.ObservationMs,
@@ -311,7 +358,13 @@ func runBatchEngine(cfg Config, b batch, emit func(outcome) bool) error {
 		Placement:     cfg.Placement,
 	})
 	if err != nil {
-		return err
+		return inject.RunnerStats{}, err
+	}
+	stats := func() inject.RunnerStats {
+		if sr, ok := runner.(inject.StatsReporter); ok {
+			return sr.Stats()
+		}
+		return inject.RunnerStats{}
 	}
 	versions := make([]target.Version, 0, 8)
 	results := make([]inject.RunResult, 0, 8)
@@ -326,55 +379,31 @@ func runBatchEngine(cfg Config, b batch, emit func(outcome) bool) error {
 			versions = append(versions, g.version)
 		}
 		results = append(results[:0], make([]inject.RunResult, len(group))...)
-		if err := eng.RunError(group[0].err, versions, results); err != nil {
-			return err
+		if err := runner.RunError(group[0].err, versions, results); err != nil {
+			return stats(), err
 		}
 		for gi, g := range group {
 			if !emit(outcome{job: g, res: results[gi]}) {
-				return nil
+				return stats(), nil
 			}
 		}
 		i = j
 	}
-	return nil
-}
-
-// runBatchScratch executes a batch's jobs the pre-engine way: a fresh
-// system per run, simulated from time zero.
-func runBatchScratch(cfg Config, b batch, emit func(outcome) bool) error {
-	for _, j := range b.jobs {
-		e := j.err
-		res, err := inject.Run(inject.RunConfig{
-			TestCase:      j.tc,
-			Version:       j.version,
-			Error:         &e,
-			Policy:        cfg.Policy,
-			ObservationMs: cfg.ObservationMs,
-			Seed:          runSeed(cfg.Seed, j.caseIdx),
-			Recovery:      cfg.Recovery,
-			Placement:     cfg.Placement,
-		})
-		if err != nil {
-			return err
-		}
-		if !emit(outcome{job: j, res: res}) {
-			return nil
-		}
-	}
-	return nil
+	return stats(), nil
 }
 
 // runAll executes the live jobs across the pool and streams outcomes to
 // collect (called from a single goroutine, which also feeds the journal
-// writer and the progress hook). In engine mode (the default for
-// detection-only campaigns) workers pull per-case batches and serve
-// them from fast-forwarded snapshots; from-scratch mode dispatches one
-// job at a time. The first worker error cancels the remaining workers
+// writer and the progress hook). Workers pull batches shaped for the
+// resolved engine mode and serve them through the Runner API — literal
+// from-scratch runs, fast-forwarded snapshots, or memoized/pruned
+// derivation. The first worker error cancels the remaining workers
 // via the run context, so a failing campaign stops promptly and the
 // journal records a clean interruption point; the parent cfg.Context
 // cancels the same way. The returned metrics cover the live runs
-// (resumed only sizes the progress totals).
-func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcome)) (journal.Metrics, error) {
+// (resumed only sizes the progress totals) and fold in the runners'
+// prune/memo-hit accounting.
+func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, collect func(outcome)) (journal.Metrics, error) {
 	parent := cfg.Context
 	if parent == nil {
 		parent = context.Background()
@@ -389,18 +418,19 @@ func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcom
 			Seed:       cfg.Seed,
 			Grid:       cfg.Grid,
 			Total:      total,
+			Runner:     mode.String(),
 		}); err != nil {
 			return journal.Metrics{}, err
 		}
 	}
 
-	engine := cfg.engineEligible()
-	batches := buildBatches(jobs, engine)
+	batches := buildBatches(jobs, mode)
 	in := make(chan batch)
 	out := make(chan outcome)
 	errCh := make(chan error, 1)
 	busy := make([]time.Duration, cfg.Workers)
 	runs := make([]int, cfg.Workers)
+	rstats := make([]inject.RunnerStats, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		w := w
@@ -428,12 +458,8 @@ func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcom
 					}
 				}
 				began := time.Now()
-				var err error
-				if engine {
-					err = runBatchEngine(cfg, b, emit)
-				} else {
-					err = runBatchScratch(cfg, b, emit)
-				}
+				st, err := runBatch(cfg, mode, b, emit)
+				rstats[w] = rstats[w].Add(st)
 				busy[w] += time.Since(began)
 				if err != nil {
 					select {
@@ -496,10 +522,21 @@ func runAll(cfg Config, exp string, jobs []job, resumed int, collect func(outcom
 		Runs:       completed - resumed,
 		Resumed:    resumed,
 		WallMs:     wall.Milliseconds(),
+		Runner:     mode.String(),
 	}
 	if wall > 0 {
 		metrics.RunsPerSec = float64(metrics.Runs) / wall.Seconds()
 	}
+	var st inject.RunnerStats
+	for _, s := range rstats {
+		st = st.Add(s)
+	}
+	metrics.Errors = st.Errors
+	metrics.Simulated = st.Simulated
+	metrics.Pruned = st.Pruned
+	metrics.MemoHits = st.MemoHits
+	metrics.PruneRate = st.PruneRate()
+	metrics.MemoHitRate = st.MemoHitRate()
 	for w := 0; w < cfg.Workers; w++ {
 		wm := journal.WorkerMetrics{Worker: w, Runs: runs[w], BusyMs: busy[w].Milliseconds()}
 		if wall > 0 {
@@ -577,6 +614,10 @@ func (r *E1Result) TotalLatency(versionIdx int) stats.Latency {
 // 2800 x 8 = 22 400 runs at full scale).
 func RunE1(cfg Config) (*E1Result, error) {
 	cfg = cfg.withDefaults()
+	mode, err := cfg.resolveMode()
+	if err != nil {
+		return nil, err
+	}
 	errors := inject.BuildE1()
 	cases := physics.Grid(cfg.Grid)
 	res := &E1Result{Versions: cfg.Versions}
@@ -608,14 +649,14 @@ func RunE1(cfg Config) (*E1Result, error) {
 		}
 		res.Runs++
 	}
-	live, replay, err := partition(cfg, ExperimentE1, jobs)
+	live, replay, err := partition(cfg, ExperimentE1, mode, jobs)
 	if err != nil {
 		return nil, err
 	}
 	for _, o := range replay {
 		collect(o)
 	}
-	res.Metrics, err = runAll(cfg, ExperimentE1, live, len(replay), collect)
+	res.Metrics, err = runAll(cfg, ExperimentE1, mode, live, len(replay), collect)
 	if err != nil {
 		return nil, err
 	}
@@ -658,10 +699,21 @@ func (r *E2Result) Total() (stats.Coverage, stats.Latency, stats.Latency) {
 
 // RunE2 executes the E2 campaign: the random error set against every
 // test case of the grid, on the All-assertions version (the paper's
-// 5000 runs at full scale).
+// 5000 runs at full scale). With Spec.Exhaustive it swaps the 200-error
+// sample for the full 11 400-position fault space and journals as
+// ExperimentExhaustive.
 func RunE2(cfg Config) (*E2Result, error) {
 	cfg = cfg.withDefaults()
+	mode, err := cfg.resolveMode()
+	if err != nil {
+		return nil, err
+	}
+	exp := ExperimentE2
 	errors := inject.BuildE2(cfg.E2, cfg.Seed)
+	if cfg.Exhaustive {
+		exp = ExperimentExhaustive
+		errors = inject.BuildExhaustive()
+	}
 	cases := physics.Grid(cfg.Grid)
 	res := &E2Result{
 		Coverage:    map[string]*stats.Coverage{},
@@ -690,14 +742,14 @@ func RunE2(cfg Config) (*E2Result, error) {
 		}
 		res.Runs++
 	}
-	live, replay, err := partition(cfg, ExperimentE2, jobs)
+	live, replay, err := partition(cfg, exp, mode, jobs)
 	if err != nil {
 		return nil, err
 	}
 	for _, o := range replay {
 		collect(o)
 	}
-	res.Metrics, err = runAll(cfg, ExperimentE2, live, len(replay), collect)
+	res.Metrics, err = runAll(cfg, exp, mode, live, len(replay), collect)
 	if err != nil {
 		return nil, err
 	}

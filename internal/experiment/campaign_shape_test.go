@@ -9,12 +9,12 @@ func TestCampaignShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign shape preview is slow")
 	}
-	e1, err := RunE1(Config{Grid: 3, Seed: 1})
+	e1, err := RunE1(Config{Spec: Spec{Grid: 3, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	fmt.Println(Table7(e1))
-	e2, err := RunE2(Config{Grid: 3, Seed: 1})
+	e2, err := RunE2(Config{Spec: Spec{Grid: 3, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

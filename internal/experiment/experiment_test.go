@@ -43,12 +43,12 @@ func TestRunSeedDeterministic(t *testing.T) {
 // observation window.
 func smallE1(t *testing.T) *E1Result {
 	t.Helper()
-	r, err := RunE1(Config{
+	r, err := RunE1(Config{Spec: Spec{
 		Grid:          1,
 		Seed:          3,
 		ObservationMs: 6000,
 		Versions:      []target.Version{target.VersionAll},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,12 +93,12 @@ func TestRunE1Small(t *testing.T) {
 }
 
 func TestRunE2Small(t *testing.T) {
-	r, err := RunE2(Config{
+	r, err := RunE2(Config{Spec: Spec{
 		Grid:          1,
 		Seed:          3,
 		ObservationMs: 6000,
 		E2:            inject.E2Spec{RAM: 24, Stack: 8},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestTables789Render(t *testing.T) {
 			t.Errorf("Table 8 lacks %q", want)
 		}
 	}
-	e2, err := RunE2(Config{Grid: 1, Seed: 3, ObservationMs: 4000, E2: inject.E2Spec{RAM: 6, Stack: 2}})
+	e2, err := RunE2(Config{Spec: Spec{Grid: 1, Seed: 3, ObservationMs: 4000, E2: inject.E2Spec{RAM: 6, Stack: 2}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestVerifyNominal(t *testing.T) {
 	// A small grid passes against every version.
-	if err := VerifyNominal(Config{Grid: 2, Seed: 5, ObservationMs: 20000}); err != nil {
+	if err := VerifyNominal(Config{Spec: Spec{Grid: 2, Seed: 5, ObservationMs: 20000}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -245,10 +245,10 @@ func TestVerifyNominal(t *testing.T) {
 func TestVerifyNominalCatchesBadParameters(t *testing.T) {
 	// An unreachable observation window means the aircraft has not
 	// stopped yet: the verification must complain.
-	err := VerifyNominal(Config{
+	err := VerifyNominal(Config{Spec: Spec{
 		Grid: 1, Seed: 5, ObservationMs: 1000,
 		Versions: []target.Version{target.VersionAll},
-	})
+	}})
 	if err == nil {
 		t.Fatal("truncated nominal run passed verification")
 	}
@@ -256,7 +256,7 @@ func TestVerifyNominalCatchesBadParameters(t *testing.T) {
 
 func TestFitModel(t *testing.T) {
 	e1 := smallE1(t)
-	e2, err := RunE2(Config{Grid: 1, Seed: 3, ObservationMs: 6000, E2: inject.E2Spec{RAM: 24, Stack: 8}})
+	e2, err := RunE2(Config{Spec: Spec{Grid: 1, Seed: 3, ObservationMs: 6000, E2: inject.E2Spec{RAM: 24, Stack: 8}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,9 +319,11 @@ func TestBreakdownRender(t *testing.T) {
 func TestCampaignDeterminism(t *testing.T) {
 	run := func() *E1Result {
 		r, err := RunE1(Config{
-			Grid: 1, Seed: 77, ObservationMs: 3000,
-			Versions: []target.Version{target.VersionAll},
-			Workers:  4, // concurrency must not affect aggregation
+			Spec: Spec{
+				Grid: 1, Seed: 77, ObservationMs: 3000,
+				Versions: []target.Version{target.VersionAll},
+			},
+			Exec: Exec{Workers: 4}, // concurrency must not affect aggregation
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -346,7 +348,7 @@ func TestCampaignDeterminism(t *testing.T) {
 
 func TestExportJSON(t *testing.T) {
 	e1 := smallE1(t)
-	e2, err := RunE2(Config{Grid: 1, Seed: 3, ObservationMs: 4000, E2: inject.E2Spec{RAM: 6, Stack: 2}})
+	e2, err := RunE2(Config{Spec: Spec{Grid: 1, Seed: 3, ObservationMs: 4000, E2: inject.E2Spec{RAM: 6, Stack: 2}}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,12 +19,14 @@ import (
 // missing runs.
 func resumeTestConfig(seed int64) Config {
 	return Config{
-		Grid:          2,
-		ObservationMs: 1500,
-		Seed:          seed,
-		Workers:       4,
-		Versions:      []target.Version{target.VersionAll, target.VersionEA4},
-		E2:            inject.E2Spec{RAM: 8, Stack: 4},
+		Spec: Spec{
+			Grid:          2,
+			ObservationMs: 1500,
+			Seed:          seed,
+			Versions:      []target.Version{target.VersionAll, target.VersionEA4},
+			E2:            inject.E2Spec{RAM: 8, Stack: 4},
+		},
+		Exec: Exec{Workers: 4},
 	}
 }
 
@@ -217,6 +219,54 @@ func TestResumeRejectsForeignJournal(t *testing.T) {
 	}
 }
 
+// TestResumeRejectsRunnerModeMismatch checks the runner assertion on
+// the replay path: a journal recorded under one engine mode must not
+// be replayed into a campaign dispatching under another, even though
+// the modes are outcome-equivalent — a mode switch mid-campaign would
+// silently launder an unproven equivalence into the tables.
+func TestResumeRejectsRunnerModeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e1.jsonl")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeTestConfig(1)
+	cfg.Versions = []target.Version{target.VersionEA4}
+	cfg.Grid = 1
+	cfg.Journal = w
+	cfg.Mode = inject.ModeSnapshot
+	if _, err := RunE1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := journal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := log.Header(ExperimentE1); !ok || h.Runner != inject.ModeSnapshot.String() {
+		t.Fatalf("journal header runner = %+v ok=%v, want %q", h, ok, inject.ModeSnapshot)
+	}
+
+	bad := cfg
+	bad.Journal = nil
+	bad.Resume = log
+	bad.Mode = inject.ModeLiteral
+	if _, err := RunE1(bad); err == nil {
+		t.Error("journal from a different engine mode accepted")
+	} else if !strings.Contains(err.Error(), "engine") {
+		t.Errorf("unhelpful mode-mismatch error: %v", err)
+	}
+
+	// The matching mode resumes cleanly.
+	good := bad
+	good.Mode = inject.ModeSnapshot
+	if _, err := RunE1(good); err != nil {
+		t.Errorf("matching engine mode rejected: %v", err)
+	}
+}
+
 // TestRunAllCancelsOnWorkerError checks the failure path of the worker
 // pool: one failing run must cancel the remaining workers promptly (no
 // draining of the full grid) and surface the first error.
@@ -230,15 +280,21 @@ func TestRunAllCancelsOnWorkerError(t *testing.T) {
 		jobs = append(jobs, job{version: target.VersionAll, errIdx: i + 1, err: good, caseIdx: 0, tc: cases[0]})
 	}
 	cfg := Config{
-		Grid:          2,
-		ObservationMs: 100,
-		Policy:        inject.Policy{StartMs: 1, PeriodMs: 20},
-		Seed:          7,
-		Workers:       4,
+		Spec: Spec{
+			Grid:          2,
+			ObservationMs: 100,
+			Policy:        inject.Policy{StartMs: 1, PeriodMs: 20},
+			Seed:          7,
+		},
+		Exec: Exec{Workers: 4},
 	}.withDefaults()
 
+	mode, err := cfg.resolveMode()
+	if err != nil {
+		t.Fatal(err)
+	}
 	collected := 0
-	_, err := runAll(cfg, ExperimentE1, jobs, 0, func(outcome) { collected++ })
+	_, err = runAll(cfg, ExperimentE1, mode, jobs, 0, func(outcome) { collected++ })
 	if err == nil {
 		t.Fatal("worker error not surfaced")
 	}

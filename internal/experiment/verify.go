@@ -53,5 +53,5 @@ func VerifyNominal(cfg Config) error {
 // VerifyNominalAllVersions is VerifyNominal over the paper's eight
 // versions at full grid scale.
 func VerifyNominalAllVersions(seed int64) error {
-	return VerifyNominal(Config{Seed: seed, Versions: target.Versions()})
+	return VerifyNominal(Config{Spec: Spec{Seed: seed, Versions: target.Versions()}})
 }

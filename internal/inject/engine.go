@@ -118,6 +118,25 @@ type Engine struct {
 	haveFailReadout bool
 	baseFailReadout plantReadout
 	baseHaveFail    bool
+
+	nominal *nominalProfile
+	stats   RunnerStats
+}
+
+// nominalProfile is the readout of one full-observation, fault-free run
+// of the engine's test case: the per-assertion violation streams, the
+// plant verdict and the candidate early-exit readouts. The memo runner
+// derives the outcome of every liveness-pruned (provably benign) fault
+// from it with zero simulation.
+type nominalProfile struct {
+	ea    [target.NumEAs]eaStream
+	fail  plantReadout
+	final plantReadout
+
+	stopMs  int64
+	stopped bool
+	failure physics.Failure
+	failed  bool
 }
 
 // NewEngine builds the engine for one test case and fast-forwards it to
@@ -209,12 +228,11 @@ func (e *Engine) RunError(err Error, versions []target.Version, out []RunResult)
 	if len(out) != len(versions) {
 		return fmt.Errorf("inject: engine needs len(out)=%d, got %d", len(versions), len(out))
 	}
-	if rerr := e.sys.Restore(&e.base); rerr != nil {
-		return fmt.Errorf("inject: restoring snapshot: %w", rerr)
+	e.stats.Errors++
+	e.stats.Simulated++
+	if rerr := e.rewind(); rerr != nil {
+		return rerr
 	}
-	e.rec.truncate(&e.baseLen, &e.baseEA)
-	e.failReadout = e.baseFailReadout
-	e.haveFailReadout = e.baseHaveFail
 
 	for ms := e.policy.StartMs; ms < e.obs; ms++ {
 		if (ms-e.policy.StartMs)%e.policy.PeriodMs == 0 {
@@ -245,32 +263,112 @@ func (e *Engine) RunError(err Error, versions []target.Version, out []RunResult)
 	}
 
 	for vi, v := range versions {
-		out[vi] = e.derive(v, stopIter, failIter, stopMs, failure, final)
+		out[vi] = e.deriveFrom(&e.rec.ea, e.failReadout, v, stopIter, failIter, stopMs, failure, final)
 	}
 	return nil
 }
 
-// derive reconstructs the from-scratch RunResult of one version from
-// the profile run. A from-scratch campaign run iterates ticks 0..obs-1,
-// injects at the start of each due tick, and breaks at the end of the
-// first tick E where a detection has been recorded and the plant has
-// settled (stopped or failed); its readouts are the state at the end of
-// tick E. The candidate exit ticks are all covered by recorded
-// readouts: at or after the stop the plant is frozen, the failure tick
-// is recorded, and any later first detection is the first violation
-// tick of some assertion, which is recorded too.
-func (e *Engine) derive(v target.Version, stopIter, failIter, stopMs int64, failure physics.Failure, final plantReadout) RunResult {
+// rewind restores the engine to its captured nominal snapshot at the
+// first injection time, ready to profile the next error.
+func (e *Engine) rewind() error {
+	if err := e.sys.Restore(&e.base); err != nil {
+		return fmt.Errorf("inject: restoring snapshot: %w", err)
+	}
+	e.rec.truncate(&e.baseLen, &e.baseEA)
+	e.failReadout = e.baseFailReadout
+	e.haveFailReadout = e.baseHaveFail
+	return nil
+}
+
+// Stats implements StatsReporter.
+func (e *Engine) Stats() RunnerStats { return e.stats }
+
+// ProfileNominal runs the engine's test case fault-free over the FULL
+// observation window (no quiet-window exit) and caches its profile for
+// DeriveNominal. While running, sink (if non-nil) is armed on the
+// injectable memory and observes every software load and store, and
+// onInject (if non-nil) is called at each tick boundary where the
+// injection schedule would flip a bit — together these drive the
+// Liveness pass. The engine is rewound to its snapshot afterwards, so
+// RunError keeps working as before.
+//
+// The full window matters twice: the access trace must be a superset
+// of any early-exiting faulty run's trace for the liveness argument,
+// and the final plant readout must match the full-window exit of a
+// benign run's literal simulation.
+func (e *Engine) ProfileNominal(sink memory.AccessSink, onInject func()) error {
+	if err := e.rewind(); err != nil {
+		return err
+	}
+	e.mem.SetAccessSink(sink)
+	for ms := e.policy.StartMs; ms < e.obs; ms++ {
+		if onInject != nil && (ms-e.policy.StartMs)%e.policy.PeriodMs == 0 {
+			onInject()
+		}
+		e.step()
+	}
+	e.mem.SetAccessSink(nil)
+
+	np := &nominalProfile{fail: e.failReadout}
+	for k := range e.rec.ea {
+		s := &e.rec.ea[k]
+		np.ea[k] = eaStream{
+			times:       append([]int64(nil), s.times...),
+			ids:         append([]core.TestID(nil), s.ids...),
+			readout:     s.readout,
+			haveReadout: s.haveReadout,
+		}
+	}
+	env := e.sys.Env()
+	np.final = plantReadout{x: env.Distance(), maxForce: env.PeakForce(), maxAccel: env.PeakRetardation()}
+	np.stopMs, np.stopped = env.Stopped()
+	np.failure, np.failed = env.Failure()
+	e.nominal = np
+	return e.rewind()
+}
+
+// DeriveNominal derives the from-scratch RunResult of a version under a
+// provably benign error: the trajectory is the nominal one, so the
+// result is read off the cached nominal profile — including the
+// injection count the literal loop would have performed up to its exit
+// tick. ProfileNominal must have run first.
+func (e *Engine) DeriveNominal(v target.Version) (RunResult, error) {
+	np := e.nominal
+	if np == nil {
+		return RunResult{}, fmt.Errorf("inject: DeriveNominal before ProfileNominal")
+	}
+	stopIter, failIter := int64(-1), int64(-1)
+	if np.stopped {
+		stopIter = np.stopMs - 1
+	}
+	if np.failed {
+		failIter = np.failure.TimeMs - 1
+	}
+	return e.deriveFrom(&np.ea, np.fail, v, stopIter, failIter, np.stopMs, np.failure, np.final), nil
+}
+
+// deriveFrom reconstructs the from-scratch RunResult of one version
+// from a profile (the live recorder's streams after RunError, or the
+// cached nominal profile). A from-scratch campaign run iterates ticks
+// 0..obs-1, injects at the start of each due tick, and breaks at the
+// end of the first tick E where a detection has been recorded and the
+// plant has settled (stopped or failed); its readouts are the state at
+// the end of tick E. The candidate exit ticks are all covered by
+// recorded readouts: at or after the stop the plant is frozen, the
+// failure tick is recorded, and any later first detection is the first
+// violation tick of some assertion, which is recorded too.
+func (e *Engine) deriveFrom(ea *[target.NumEAs]eaStream, failReadout plantReadout, v target.Version, stopIter, failIter, stopMs int64, failure physics.Failure, final plantReadout) RunResult {
 	const never = int64(1) << 62
 
 	// First detection of this version: the earliest first violation
 	// among its enabled assertions.
 	first := never
 	firstK := -1
-	for k := range e.rec.ea {
+	for k := range ea {
+		s := &ea[k]
 		if !v.Enables(k + 1) {
 			continue
 		}
-		s := &e.rec.ea[k]
 		if len(s.times) > 0 && s.times[0] < first {
 			first = s.times[0]
 			firstK = k
@@ -301,11 +399,11 @@ func (e *Engine) derive(v target.Version, stopIter, failIter, stopMs int64, fail
 	}
 
 	// Per-constraint counts up to and including the exit tick.
-	for k := range e.rec.ea {
+	for k := range ea {
 		if !v.Enables(k + 1) {
 			continue
 		}
-		s := &e.rec.ea[k]
+		s := &ea[k]
 		n := sort.Search(len(s.times), func(i int) bool { return s.times[i] > exit })
 		if n == 0 {
 			continue
@@ -341,11 +439,11 @@ func (e *Engine) derive(v target.Version, stopIter, failIter, stopMs int64, fail
 		res.PeakForceN = final.maxForce
 		res.PeakRetardationMS2 = final.maxAccel
 	case res.Failed && exit == failIter:
-		res.DistanceM = e.failReadout.x
-		res.PeakForceN = e.failReadout.maxForce
-		res.PeakRetardationMS2 = e.failReadout.maxAccel
+		res.DistanceM = failReadout.x
+		res.PeakForceN = failReadout.maxForce
+		res.PeakRetardationMS2 = failReadout.maxAccel
 	case firstK >= 0 && exit == first:
-		r := e.rec.ea[firstK].readout
+		r := ea[firstK].readout
 		res.DistanceM = r.x
 		res.PeakForceN = r.maxForce
 		res.PeakRetardationMS2 = r.maxAccel

@@ -92,13 +92,49 @@ func BuildE1() []Error {
 	return out
 }
 
+// BuildExhaustive builds the full E2-style fault space: one bit-flip
+// error per (byte, bit) position of the application RAM and the stack,
+// 8×(417+1008) = 11,400 errors. Where the paper (and BuildE2) samples
+// 200 random positions to *estimate* Pdetect, the exhaustive set lets
+// the memoizing/pruning runner *measure* it over the whole space.
+// Errors are ordered region-major, then address, then bit, with stable
+// IDs "R0x%04x.%d" (RAM) and "K0x%04x.%d" (stack).
+func BuildExhaustive() []Error {
+	out := make([]Error, 0, 8*(target.RAMSize+target.StackSize))
+	for off := 0; off < target.RAMSize; off++ {
+		addr := uint16(target.RAMBase + off)
+		for bit := uint8(0); bit < 8; bit++ {
+			out = append(out, Error{
+				ID:        fmt.Sprintf("R0x%04x.%d", addr, bit),
+				SignalIdx: -1,
+				Region:    target.RegionRAM,
+				Addr:      addr,
+				Bit:       bit,
+			})
+		}
+	}
+	for off := 0; off < target.StackSize; off++ {
+		addr := uint16(target.StackBase + off)
+		for bit := uint8(0); bit < 8; bit++ {
+			out = append(out, Error{
+				ID:        fmt.Sprintf("K0x%04x.%d", addr, bit),
+				SignalIdx: -1,
+				Region:    target.RegionStack,
+				Addr:      addr,
+				Bit:       bit,
+			})
+		}
+	}
+	return out
+}
+
 // E2Spec sizes the random error set; the zero value is not useful,
 // use DefaultE2Spec.
 type E2Spec struct {
 	// RAM is the number of errors drawn in the application RAM region.
-	RAM int
+	RAM int `json:"ram"`
 	// Stack is the number of errors drawn in the stack region.
-	Stack int
+	Stack int `json:"stack"`
 }
 
 // DefaultE2Spec returns the paper's E2 sizing: 150 RAM errors and 50

@@ -14,9 +14,9 @@ import (
 // execution of the executable assertions").
 type Policy struct {
 	// StartMs is the time of the first injection.
-	StartMs int64
+	StartMs int64 `json:"start_ms"`
 	// PeriodMs is the re-injection period (the paper uses 20 ms).
-	PeriodMs int64
+	PeriodMs int64 `json:"period_ms"`
 }
 
 // DefaultPolicy returns the paper's schedule: 20 ms period, starting

@@ -1,0 +1,138 @@
+package inject
+
+import (
+	"easig/internal/memory"
+)
+
+// Liveness is the def/use fault-liveness pass over the target's memory
+// map (417 B application RAM + 1008 B stack): it observes one full
+// nominal profile run through a memory.AccessSink and classifies every
+// byte as live or dead with respect to the time-triggered injection
+// schedule.
+//
+// The analysis: at every injection epoch (a tick boundary where the
+// §3.4 schedule flips the bit, before that tick's software runs) every
+// byte becomes "pending". A software load of a pending byte marks it
+// live; a software store clears pending. A byte that is never read
+// while pending — because it is never read at all, or because the
+// software always overwrites it between an injection epoch and its
+// next read — is dead: a bit-flip in it can never reach a computation.
+//
+// Soundness of pruning dead bytes follows by induction over ticks.
+// Suppose the fault's byte is dead. At any point of the faulty run,
+// assume every load so far returned its nominal value (true initially:
+// injections start at a tick boundary and the first load of the byte,
+// if any, is preceded by a store in the same epoch interval, which —
+// by the hypothesis — wrote the nominal value over the corruption).
+// Then every computed value is nominal, every store writes the nominal
+// value, and the next load of the fault's byte again follows a store
+// within the same epoch interval, returning the nominal value. So the
+// whole trajectory — plant, signals, monitors, detections — equals the
+// nominal run, and the outcome can be derived from the nominal profile
+// with zero simulation. Re-injection is harmless for the same reason:
+// the flip is an involution applied to whatever value rests in the
+// byte, and that value is only ever observed after a nominal store.
+//
+// The nominal all-assertions profile is a sound access superset for
+// every version build: a version's accesses are a subset of the
+// profile's (omitted monitors just skip their Test calls), and every
+// profile store with no counterpart in a reduced version — a monitor's
+// StorePrev or a recovery write-back — is preceded in the same call by
+// a load of the same byte (core.Monitor.Test calls LoadPrev before any
+// StorePrev; Node.test reads the signal before writing the recovery),
+// so removing the store cannot turn a dead byte live. The analysis is
+// conservative in the other direction too: a read-while-pending marks
+// live even if the corruption would have cancelled out, which only
+// costs pruning opportunity, never correctness.
+type Liveness struct {
+	regions []memory.RegionSpec
+	base    uint16 // first tracked address
+	pending []bool // per byte of the span: injected-and-not-yet-stored
+	live    []bool // per byte of the span: read while pending
+}
+
+// NewLiveness builds the pass for the given region layout (usually
+// Memory.Regions() of the node under injection).
+func NewLiveness(regions []memory.RegionSpec) *Liveness {
+	if len(regions) == 0 {
+		return &Liveness{}
+	}
+	lo := regions[0].Base
+	hi := regions[0].End()
+	for _, r := range regions[1:] {
+		if r.Base < lo {
+			lo = r.Base
+		}
+		if r.End() > hi {
+			hi = r.End()
+		}
+	}
+	span := int(hi) - int(lo)
+	return &Liveness{
+		regions: append([]memory.RegionSpec(nil), regions...),
+		base:    lo,
+		pending: make([]bool, span),
+		live:    make([]bool, span),
+	}
+}
+
+// MarkInjection marks an injection epoch: every byte becomes pending
+// until the software stores over it.
+func (l *Liveness) MarkInjection() {
+	for i := range l.pending {
+		l.pending[i] = true
+	}
+}
+
+// OnAccess implements memory.AccessSink.
+func (l *Liveness) OnAccess(addr uint16, n int, write bool) {
+	for i := 0; i < n; i++ {
+		a := int(addr) + i - int(l.base)
+		if a < 0 || a >= len(l.pending) {
+			continue
+		}
+		if write {
+			l.pending[a] = false
+		} else if l.pending[a] {
+			l.live[a] = true
+		}
+	}
+}
+
+// Live reports whether a fault at addr can influence the run. Addresses
+// outside the tracked regions are conservatively live.
+func (l *Liveness) Live(addr uint16) bool {
+	in := false
+	for _, r := range l.regions {
+		if addr >= r.Base && uint32(addr) < r.End() {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return true
+	}
+	return l.live[addr-l.base]
+}
+
+// LiveBytes counts the live bytes across the tracked regions.
+func (l *Liveness) LiveBytes() int {
+	n := 0
+	for _, r := range l.regions {
+		for a := uint32(r.Base); a < r.End(); a++ {
+			if l.live[uint16(a)-l.base] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TrackedBytes counts all bytes of the tracked regions.
+func (l *Liveness) TrackedBytes() int {
+	n := 0
+	for _, r := range l.regions {
+		n += int(r.Size)
+	}
+	return n
+}

@@ -51,6 +51,12 @@ type Header struct {
 	Grid int `json:"grid"`
 	// Total is the campaign's total run count at this configuration.
 	Total int `json:"total_runs"`
+	// Runner names the execution engine that produced the records
+	// ("literal", "snapshot" or "memo"). Empty in journals written
+	// before the unified Runner API; on resume a non-empty value must
+	// match the live campaign's resolved engine mode, so e.g. a
+	// memo-mode journal cannot silently extend a literal-mode table.
+	Runner string `json:"runner,omitempty"`
 }
 
 // Record is one completed run: its coordinates in the campaign grid,

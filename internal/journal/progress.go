@@ -48,6 +48,23 @@ type Metrics struct {
 	WallMs int64 `json:"wall_ms"`
 	// RunsPerSec is the live completion throughput.
 	RunsPerSec float64 `json:"runs_per_sec"`
+	// Runner names the execution engine ("literal", "snapshot", "memo").
+	Runner string `json:"runner,omitempty"`
+	// Errors counts the distinct injected errors the runners served
+	// (every error is Simulated, Pruned or a MemoHit).
+	Errors int `json:"errors,omitempty"`
+	// Simulated counts errors that required actual simulation.
+	Simulated int `json:"simulated,omitempty"`
+	// Pruned counts errors classified benign by the def/use liveness
+	// pass with zero simulation (memo runner only).
+	Pruned int `json:"pruned,omitempty"`
+	// MemoHits counts errors served from the outcome memo with zero
+	// simulation (memo runner only).
+	MemoHits int `json:"memo_hits,omitempty"`
+	// PruneRate is Pruned/Errors (0 when no errors were served).
+	PruneRate float64 `json:"prune_rate,omitempty"`
+	// MemoHitRate is MemoHits/Errors.
+	MemoHitRate float64 `json:"memo_hit_rate,omitempty"`
 	// Workers holds per-worker utilization.
 	Workers []WorkerMetrics `json:"workers"`
 }

@@ -46,12 +46,34 @@ type region struct {
 	data []byte
 }
 
+// AccessSink observes the target software's memory traffic: every read
+// and write the software performs through Memory or Var16 accessors.
+// The fault injector's own primitives (FlipBit, FlipWordBit) and the
+// checkpoint machinery (Snapshot, Capture, Restore*) are NOT reported —
+// they are the experiment apparatus, not data flow of the program under
+// test. The def/use liveness pass of internal/inject uses the sink to
+// prove which injected bit-flips are dead or overwritten before their
+// next read.
+type AccessSink interface {
+	// OnAccess reports one n-byte access starting at addr. write is
+	// true for stores, false for loads; read-modify-write accessors
+	// (Var16.Add, AddSat) report a load followed by a store.
+	OnAccess(addr uint16, n int, write bool)
+}
+
 // Memory is a set of non-overlapping byte regions. The zero value is
 // unusable; construct with New. Memory is not safe for concurrent use;
 // each experiment run owns its own instance.
 type Memory struct {
 	regions []region
+	sink    AccessSink
 }
+
+// SetAccessSink arms (or, with nil, disarms) the access sink. While
+// armed, every software load and store through this Memory and its
+// bound Var16 accessors is reported. The disarmed fast path is a nil
+// check, so campaigns that never trace pay (almost) nothing.
+func (m *Memory) SetAccessSink(s AccessSink) { m.sink = s }
 
 // New builds a memory from the given region specifications. Regions
 // may be listed in any order; they are kept sorted by base address.
@@ -113,6 +135,9 @@ func (m *Memory) ByteAt(addr uint16) (byte, error) {
 	if err != nil {
 		return 0, err
 	}
+	if m.sink != nil {
+		m.sink.OnAccess(addr, 1, false)
+	}
 	return r.data[off], nil
 }
 
@@ -121,6 +146,9 @@ func (m *Memory) SetByteAt(addr uint16, b byte) error {
 	r, off, err := m.find(addr)
 	if err != nil {
 		return err
+	}
+	if m.sink != nil {
+		m.sink.OnAccess(addr, 1, true)
 	}
 	r.data[off] = b
 	return nil
@@ -136,6 +164,9 @@ func (m *Memory) ReadU16(addr uint16) (uint16, error) {
 	if uint32(off)+1 >= uint32(len(r.data)) {
 		return 0, fmt.Errorf("%w: word at 0x%04x crosses region end", ErrOutOfRange, addr)
 	}
+	if m.sink != nil {
+		m.sink.OnAccess(addr, 2, false)
+	}
 	return uint16(r.data[off])<<8 | uint16(r.data[off+1]), nil
 }
 
@@ -148,6 +179,9 @@ func (m *Memory) WriteU16(addr uint16, v uint16) error {
 	}
 	if uint32(off)+1 >= uint32(len(r.data)) {
 		return fmt.Errorf("%w: word at 0x%04x crosses region end", ErrOutOfRange, addr)
+	}
+	if m.sink != nil {
+		m.sink.OnAccess(addr, 2, true)
 	}
 	r.data[off] = byte(v >> 8)
 	r.data[off+1] = byte(v)

@@ -14,8 +14,9 @@ import "fmt"
 type Var16 struct {
 	name string
 	addr uint16
-	buf  []byte // region backing store
-	off  uint16 // offset of the high byte inside buf
+	buf  []byte  // region backing store
+	off  uint16  // offset of the high byte inside buf
+	mem  *Memory // owner, consulted for the armed access sink
 }
 
 // Bind creates a Var16 for the big-endian word at addr. Both bytes
@@ -28,7 +29,7 @@ func Bind(m *Memory, name string, addr uint16) (Var16, error) {
 	if int(off)+1 >= len(buf) {
 		return Var16{}, fmt.Errorf("memory: binding %q: word at 0x%04x crosses region end", name, addr)
 	}
-	return Var16{name: name, addr: addr, buf: buf, off: off}, nil
+	return Var16{name: name, addr: addr, buf: buf, off: off, mem: m}, nil
 }
 
 // MustBind is Bind for statically known layouts; it panics on error.
@@ -53,11 +54,17 @@ func (v Var16) Valid() bool { return v.buf != nil }
 
 // Get returns the current unsigned value.
 func (v Var16) Get() uint16 {
+	if v.mem != nil && v.mem.sink != nil {
+		v.mem.sink.OnAccess(v.addr, 2, false)
+	}
 	return uint16(v.buf[v.off])<<8 | uint16(v.buf[v.off+1])
 }
 
 // Set stores the unsigned value.
 func (v Var16) Set(x uint16) {
+	if v.mem != nil && v.mem.sink != nil {
+		v.mem.sink.OnAccess(v.addr, 2, true)
+	}
 	v.buf[v.off] = byte(x >> 8)
 	v.buf[v.off+1] = byte(x)
 }

@@ -44,10 +44,12 @@ func TestScaledE1CounterCoverage(t *testing.T) {
 		t.Skip("scaled campaign in -short mode")
 	}
 	res, err := easig.RunE1(easig.CampaignConfig{
-		Grid:          2,
-		ObservationMs: 6000,
-		Seed:          7,
-		Versions:      []easig.Version{easig.VersionAll},
+		Spec: easig.CampaignSpec{
+			Grid:          2,
+			ObservationMs: 6000,
+			Seed:          7,
+			Versions:      []easig.Version{easig.VersionAll},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -83,10 +83,68 @@ func BuildE2(seed int64) []InjectionError {
 	return inject.BuildE2(inject.DefaultE2Spec(), seed)
 }
 
+// BuildExhaustive builds the full RAM/stack fault space: one error per
+// (byte, bit) position, 11 400 errors — the measured-Pdetect
+// counterpart of the paper's 200-error E2 sample.
+func BuildExhaustive() []InjectionError { return inject.BuildExhaustive() }
+
+// Runner is the unified execution contract behind campaigns: literal
+// from-scratch simulation, the fast-forward snapshot engine, and the
+// memoizing/pruning runner all serve errors through it.
+type Runner = inject.Runner
+
+// RunnerStats accounts how a Runner served its errors (simulated,
+// liveness-pruned, memo hits).
+type RunnerStats = inject.RunnerStats
+
+// RunnerStatsReporter is implemented by runners that track RunnerStats.
+type RunnerStatsReporter = inject.StatsReporter
+
+// EngineMode selects the campaign execution engine.
+type EngineMode = inject.Mode
+
+// The engine modes (Discrete-by-value, like Version and Placement).
+const (
+	// EngineAuto resolves to EngineSnapshot for detection-only
+	// campaigns and EngineLiteral otherwise (the zero value).
+	EngineAuto = inject.ModeAuto
+	// EngineLiteral simulates every run from time zero, as the paper's
+	// FIC3 hardware did.
+	EngineLiteral = inject.ModeLiteral
+	// EngineSnapshot serves each test case from one fast-forwarded
+	// checkpoint (PR 4's engine).
+	EngineSnapshot = inject.ModeSnapshot
+	// EngineMemo adds def/use liveness pruning and outcome memoization
+	// on top of the snapshot engine.
+	EngineMemo = inject.ModeMemo
+)
+
+// ParseEngineMode parses an -engine flag value
+// (auto|literal|snapshot|memo).
+func ParseEngineMode(s string) (EngineMode, error) { return inject.ParseMode(s) }
+
+// NewRunner builds the mode's runner for one test case; campaigns
+// compose runners per worker batch through the same constructor.
+func NewRunner(mode EngineMode, cfg RunConfig) (Runner, error) {
+	return inject.NewRunner(mode, cfg)
+}
+
+// CampaignSpec is the serializable protocol half of a campaign
+// configuration: everything that determines which runs exist and what
+// their outcomes are (grid, window, schedule, seed, error sets,
+// versions, placement).
+type CampaignSpec = experiment.Spec
+
+// CampaignExec is the execution half: engine mode, worker pool,
+// recovery policy, context, journal, resume and progress hooks. It
+// cannot change a table cell.
+type CampaignExec = experiment.Exec
+
 // CampaignConfig parameterises a campaign; the zero value runs the
-// paper's full §3.4 protocol. Set Journal, Resume, Progress and
-// Context (see JournalWriter, JournalLog and ProgressEvent) to record,
-// resume and observe a long campaign.
+// paper's full §3.4 protocol. It embeds CampaignSpec (the serializable
+// protocol) and CampaignExec (dispatch options). Set Journal, Resume,
+// Progress and Context (see JournalWriter, JournalLog and
+// ProgressEvent) to record, resume and observe a long campaign.
 type CampaignConfig = experiment.Config
 
 // E1Result aggregates an E1 campaign (Tables 7 and 8).
