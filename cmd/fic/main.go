@@ -30,8 +30,10 @@
 // (snapshot plus def/use liveness pruning and outcome memoization).
 // All engines render byte-identical tables (see PERFORMANCE.md). The
 // exhaustive experiment defaults to the memo engine — pruning is what
-// makes the full fault space affordable. The old -snapshot=on|off flag
-// is a deprecated alias for -engine=auto|literal.
+// makes the full fault space affordable.
+//
+// For performance work, -cpuprofile and -memprofile write pprof
+// profiles of the campaign (see PERFORMANCE.md for the workflow).
 package main
 
 import (
@@ -42,6 +44,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"easig"
@@ -74,7 +78,8 @@ func run() error {
 		progressF   = flag.Bool("progress", false, "render a periodic progress line on stderr")
 		metricsF    = flag.Bool("metrics", false, "print a final JSON metrics block (runs/sec, wall time, per-worker utilization)")
 		engineF     = flag.String("engine", "auto", "execution engine: auto, literal, snapshot or memo")
-		snapshotF   = flag.String("snapshot", "", "deprecated: -snapshot=on|off is an alias for -engine=auto|literal")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile (post-GC, on exit) to this file")
 	)
 	flag.Parse()
 
@@ -120,18 +125,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	switch *snapshotF {
-	case "":
-	case "on", "off":
-		if *engineF != "auto" {
-			return fmt.Errorf("-snapshot and -engine are exclusive; -snapshot is a deprecated alias for -engine")
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating -cpuprofile: %w", err)
 		}
-		fmt.Fprintln(os.Stderr, "fic: -snapshot is deprecated, use -engine=auto|literal|snapshot|memo")
-		if *snapshotF == "off" {
-			mode = easig.EngineLiteral
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
 		}
-	default:
-		return fmt.Errorf("unknown -snapshot %q (want on or off)", *snapshotF)
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("creating -memprofile: %w", err)
+		}
+		defer func() {
+			// Collect first so the profile shows live retained memory, not
+			// the garbage of the last batch.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fic: writing heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	cfg := easig.CampaignConfig{

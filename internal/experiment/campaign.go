@@ -273,9 +273,20 @@ func (c Config) resolveMode() (inject.Mode, error) {
 
 // engineBatchErrors is the number of errors a worker serves from one
 // fast-forwarded snapshot before handing control back to the pool: big
-// enough to amortise the system build and the 500 ms nominal prefix,
-// small enough to keep the pool load-balanced on scaled grids.
+// enough to amortise the per-batch scheduling cost, small enough to
+// keep the pool load-balanced on scaled grids.
 const engineBatchErrors = 8
+
+// memoBatchErrors is the memo-mode chunk. PR 6 scheduled each test
+// case as ONE batch because splitting it would have rebuilt the
+// expensive per-case liveness profile per chunk and hidden duplicate
+// draws from the memo; with the profile and the memo shared through
+// inject.ProfileCache and inject.SharedMemo that restriction is gone,
+// and chunking lets the exhaustive census parallelize WITHIN a case
+// (11 400 error positions per case versus only 25 cases). The chunk is
+// larger than the snapshot engine's because most memo-mode errors are
+// served by the liveness pruner in microseconds.
+const memoBatchErrors = 64
 
 // batch is the engine-mode work unit: a chunk of live jobs that share
 // one test case, sorted so jobs of the same error are adjacent.
@@ -287,12 +298,13 @@ type batch struct {
 
 // buildBatches groups the live jobs by test case and chunks each case's
 // errors, preserving a deterministic order. The chunking follows the
-// runner's amortisation scope: literal runs share nothing (single-job
-// batches, the old per-run dispatch); the snapshot engine amortises a
-// snapshot (chunks of engineBatchErrors); the memo runner amortises the
-// per-case liveness map and outcome memo, so each case becomes ONE
-// batch — splitting it would rebuild the liveness profile per chunk and
-// hide duplicate faults from the memo.
+// per-batch cost profile: literal runs share nothing (single-job
+// batches, the old per-run dispatch); the snapshot engine serves
+// chunks of engineBatchErrors from its restored checkpoint; the memo
+// runner serves larger chunks (memoBatchErrors) because liveness-
+// pruned errors cost microseconds. The per-case liveness profile and
+// outcome memo that once forced whole-case memo batches now live in
+// the campaign-wide ProfileCache/SharedMemo, shared by every chunk.
 func buildBatches(live []job, mode inject.Mode) []batch {
 	if mode == inject.ModeLiteral {
 		batches := make([]batch, 0, len(live))
@@ -303,7 +315,7 @@ func buildBatches(live []job, mode inject.Mode) []batch {
 	}
 	chunk := engineBatchErrors
 	if mode == inject.ModeMemo {
-		chunk = 1 << 30
+		chunk = memoBatchErrors
 	}
 	type caseKey struct {
 		caseIdx int
@@ -341,68 +353,20 @@ func buildBatches(live []job, mode inject.Mode) []batch {
 	return batches
 }
 
-// runBatch serves one batch through the unified Runner API: it
-// composes the resolved mode's runner for the batch's test case (a
-// literal from-scratch runner, a fast-forward snapshot Engine, or the
-// memoizing/pruning MemoRunner) and feeds it the batch's errors, one
-// RunError per error with every version the batch's jobs request. The
-// runner's stats (simulated / pruned / memo-hit counts) are returned
-// for the campaign metrics.
-func runBatch(cfg Config, mode inject.Mode, b batch, emit func(outcome) bool) (inject.RunnerStats, error) {
-	runner, err := inject.NewRunner(mode, inject.RunConfig{
-		TestCase:      b.tc,
-		Policy:        cfg.Policy,
-		ObservationMs: cfg.ObservationMs,
-		Seed:          runSeed(cfg.Seed, b.caseIdx),
-		Recovery:      cfg.Recovery,
-		Placement:     cfg.Placement,
-	})
-	if err != nil {
-		return inject.RunnerStats{}, err
-	}
-	stats := func() inject.RunnerStats {
-		if sr, ok := runner.(inject.StatsReporter); ok {
-			return sr.Stats()
-		}
-		return inject.RunnerStats{}
-	}
-	versions := make([]target.Version, 0, 8)
-	results := make([]inject.RunResult, 0, 8)
-	for i := 0; i < len(b.jobs); {
-		j := i
-		for j < len(b.jobs) && b.jobs[j].errIdx == b.jobs[i].errIdx {
-			j++
-		}
-		group := b.jobs[i:j]
-		versions = versions[:0]
-		for _, g := range group {
-			versions = append(versions, g.version)
-		}
-		results = append(results[:0], make([]inject.RunResult, len(group))...)
-		if err := runner.RunError(group[0].err, versions, results); err != nil {
-			return stats(), err
-		}
-		for gi, g := range group {
-			if !emit(outcome{job: g, res: results[gi]}) {
-				return stats(), nil
-			}
-		}
-		i = j
-	}
-	return stats(), nil
-}
-
 // runAll executes the live jobs across the pool and streams outcomes to
 // collect (called from a single goroutine, which also feeds the journal
-// writer and the progress hook). Workers pull batches shaped for the
-// resolved engine mode and serve them through the Runner API — literal
-// from-scratch runs, fast-forwarded snapshots, or memoized/pruned
-// derivation. The first worker error cancels the remaining workers
-// via the run context, so a failing campaign stops promptly and the
-// journal records a clean interruption point; the parent cfg.Context
-// cancels the same way. The returned metrics cover the live runs
-// (resumed only sizes the progress totals) and fold in the runners'
-// prune/memo-hit accounting.
+// writer and the progress hook). Batches shaped for the resolved engine
+// mode are partitioned into per-worker queues; workers claim them with
+// a lock-free cursor and steal from each other's queues when their own
+// drains (see scheduler.go). Per-case profiles are computed once per
+// campaign in an inject.ProfileCache and shared read-only by every
+// worker's runner; memo-mode workers additionally share each case's
+// outcome memo, merged at batch barriers. The first worker error
+// cancels the remaining workers via the run context, so a failing
+// campaign stops promptly and the journal records a clean interruption
+// point; the parent cfg.Context cancels the same way. The returned
+// metrics cover the live runs (resumed only sizes the progress totals)
+// and fold in the runners' prune/memo-hit accounting.
 func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, collect func(outcome)) (journal.Metrics, error) {
 	parent := cfg.Context
 	if parent == nil {
@@ -425,11 +389,23 @@ func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, c
 	}
 
 	batches := buildBatches(jobs, mode)
-	in := make(chan batch)
+	queues := partitionQueues(batches, cfg.Workers)
+	cache := inject.NewProfileCache()
+	var memos map[int]*inject.SharedMemo
+	if mode == inject.ModeMemo {
+		memos = make(map[int]*inject.SharedMemo)
+		for _, b := range batches {
+			if memos[b.caseIdx] == nil {
+				memos[b.caseIdx] = &inject.SharedMemo{}
+			}
+		}
+	}
+
 	out := make(chan outcome)
 	errCh := make(chan error, 1)
 	busy := make([]time.Duration, cfg.Workers)
 	runs := make([]int, cfg.Workers)
+	stolen := make([]int, cfg.Workers)
 	rstats := make([]inject.RunnerStats, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -437,6 +413,8 @@ func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wr := newWorkerRunners(cfg, mode, cache, memos)
+			defer func() { rstats[w] = rstats[w].Add(wr.stats()) }()
 			emit := func(o outcome) bool {
 				select {
 				case out <- o:
@@ -446,20 +424,16 @@ func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, c
 					return false
 				}
 			}
-			for {
-				var b batch
-				var ok bool
-				select {
-				case <-ctx.Done():
+			for ctx.Err() == nil {
+				b, ok, stole := nextBatch(queues, w)
+				if !ok {
 					return
-				case b, ok = <-in:
-					if !ok {
-						return
-					}
+				}
+				if stole {
+					stolen[w]++
 				}
 				began := time.Now()
-				st, err := runBatch(cfg, mode, b, emit)
-				rstats[w] = rstats[w].Add(st)
+				err := wr.runBatch(b, emit)
 				busy[w] += time.Since(began)
 				if err != nil {
 					select {
@@ -472,16 +446,6 @@ func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, c
 			}
 		}()
 	}
-	go func() {
-		defer close(in)
-		for _, b := range batches {
-			select {
-			case in <- b:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
 	go func() {
 		wg.Wait()
 		close(out)
@@ -538,7 +502,7 @@ func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, c
 	metrics.PruneRate = st.PruneRate()
 	metrics.MemoHitRate = st.MemoHitRate()
 	for w := 0; w < cfg.Workers; w++ {
-		wm := journal.WorkerMetrics{Worker: w, Runs: runs[w], BusyMs: busy[w].Milliseconds()}
+		wm := journal.WorkerMetrics{Worker: w, Runs: runs[w], BusyMs: busy[w].Milliseconds(), Stolen: stolen[w]}
 		if wall > 0 {
 			wm.Utilization = float64(busy[w]) / float64(wall)
 		}

@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"sync/atomic"
+
+	"easig/internal/inject"
+	"easig/internal/target"
+)
+
+// This file is the campaign's parallel work-stealing scheduler: how the
+// (test case × error-position) grid reaches the worker pool.
+//
+// Batches are partitioned upfront into per-worker queues in contiguous
+// case-major blocks, so a worker mostly stays on few test cases and its
+// per-case runners (snapshot engines, memo runners) are reused across
+// batches. Each queue is an immutable batch slice with an atomic
+// cursor: claiming a batch is one compare-and-swap, with no locks and
+// no channel hops. A worker that drains its own queue steals from the
+// other queues with the same CAS — idle workers finish the stragglers
+// of loaded ones, so a skewed grid (memo batches vary from
+// microseconds for all-pruned chunks to seconds for all-live ones)
+// still saturates the pool.
+//
+// The expensive per-case state is shared, not stolen with the batch: an
+// inject.ProfileCache computes each case's nominal-prefix snapshot (and
+// for memo mode the full-window nominal profile + liveness map) exactly
+// once per campaign, and every worker's runner is built from that
+// read-only profile. Memoized outcomes cross workers through a
+// per-case inject.SharedMemo, merged at batch barriers.
+
+// workQueue is one worker's share of the batch list. take claims the
+// next batch lock-free; the same method is the steal path when another
+// worker calls it.
+type workQueue struct {
+	batches []batch
+	next    atomic.Int64
+}
+
+// take claims the queue's next batch, or reports an empty queue.
+func (q *workQueue) take() (batch, bool) {
+	for {
+		i := q.next.Load()
+		if i >= int64(len(q.batches)) {
+			return batch{}, false
+		}
+		if q.next.CompareAndSwap(i, i+1) {
+			return q.batches[i], true
+		}
+	}
+}
+
+// partitionQueues splits the batch list into near-equal contiguous
+// blocks, one per worker. Contiguity preserves the case-major batch
+// order inside each queue, which is what makes per-case runner reuse
+// effective.
+func partitionQueues(batches []batch, workers int) []*workQueue {
+	queues := make([]*workQueue, workers)
+	per := len(batches) / workers
+	rem := len(batches) % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < rem {
+			n++
+		}
+		queues[w] = &workQueue{batches: batches[lo : lo+n]}
+		lo += n
+	}
+	return queues
+}
+
+// nextBatch serves worker w: its own queue first, then a steal sweep
+// over the other queues. stole reports whether the batch came from
+// another worker's queue.
+func nextBatch(queues []*workQueue, w int) (b batch, ok, stole bool) {
+	if b, ok = queues[w].take(); ok {
+		return b, true, false
+	}
+	for off := 1; off < len(queues); off++ {
+		if b, ok = queues[(w+off)%len(queues)].take(); ok {
+			return b, true, true
+		}
+	}
+	return batch{}, false, false
+}
+
+// workerRunners is one worker's runner state: the per-case runners it
+// has built so far (reused across every batch of the same case), the
+// shared campaign caches they are built from, and the scratch slices
+// of the batch loop.
+type workerRunners struct {
+	cfg    Config
+	mode   inject.Mode
+	cache  *inject.ProfileCache
+	memos  map[int]*inject.SharedMemo
+	byCase map[int]inject.Runner
+
+	versions []target.Version
+	results  []inject.RunResult
+}
+
+func newWorkerRunners(cfg Config, mode inject.Mode, cache *inject.ProfileCache, memos map[int]*inject.SharedMemo) *workerRunners {
+	return &workerRunners{
+		cfg:    cfg,
+		mode:   mode,
+		cache:  cache,
+		memos:  memos,
+		byCase: make(map[int]inject.Runner),
+	}
+}
+
+// runner returns the worker's runner for b's test case, building it on
+// first use. Snapshot engines fast-forward by restoring the shared
+// profile snapshot instead of re-simulating the nominal prefix; memo
+// runners additionally share the full nominal profile, the liveness
+// map and the case's outcome memo.
+func (wr *workerRunners) runner(b batch) (inject.Runner, error) {
+	if r, ok := wr.byCase[b.caseIdx]; ok {
+		return r, nil
+	}
+	rc := inject.RunConfig{
+		TestCase:      b.tc,
+		Policy:        wr.cfg.Policy,
+		ObservationMs: wr.cfg.ObservationMs,
+		Seed:          runSeed(wr.cfg.Seed, b.caseIdx),
+		Recovery:      wr.cfg.Recovery,
+		Placement:     wr.cfg.Placement,
+	}
+	var r inject.Runner
+	var err error
+	switch wr.mode {
+	case inject.ModeSnapshot:
+		var p *inject.CaseProfile
+		if p, err = wr.cache.Get(b.caseIdx, rc, false); err == nil {
+			r, err = inject.NewEngineFromProfile(p)
+		}
+	case inject.ModeMemo:
+		var p *inject.CaseProfile
+		if p, err = wr.cache.Get(b.caseIdx, rc, true); err == nil {
+			r, err = inject.NewMemoRunnerFromProfile(p, wr.memos[b.caseIdx])
+		}
+	default:
+		r, err = inject.NewRunner(wr.mode, rc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wr.byCase[b.caseIdx] = r
+	return r, nil
+}
+
+// stats folds the per-case runners' serving statistics; the worker
+// calls it once on exit, so no per-draw synchronization is needed.
+func (wr *workerRunners) stats() inject.RunnerStats {
+	var st inject.RunnerStats
+	for _, r := range wr.byCase {
+		if sr, ok := r.(inject.StatsReporter); ok {
+			st = st.Add(sr.Stats())
+		}
+	}
+	return st
+}
+
+// runBatch serves one batch through the worker's per-case runner: one
+// RunError per error with every version the batch's jobs request. At
+// the batch barrier the runner's freshly memoized outcomes are merged
+// into the case's shared memo.
+func (wr *workerRunners) runBatch(b batch, emit func(outcome) bool) error {
+	runner, err := wr.runner(b)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(b.jobs); {
+		j := i
+		for j < len(b.jobs) && b.jobs[j].errIdx == b.jobs[i].errIdx {
+			j++
+		}
+		group := b.jobs[i:j]
+		wr.versions = wr.versions[:0]
+		for _, g := range group {
+			wr.versions = append(wr.versions, g.version)
+		}
+		if cap(wr.results) < len(group) {
+			wr.results = make([]inject.RunResult, len(group))
+		}
+		results := wr.results[:len(group)]
+		// Zeroed slots, not reused ones: emitted results are retained
+		// by the collector, so the runner must not recycle their maps.
+		for k := range results {
+			results[k] = inject.RunResult{}
+		}
+		if err := runner.RunError(group[0].err, wr.versions, results); err != nil {
+			return err
+		}
+		for gi, g := range group {
+			if !emit(outcome{job: g, res: results[gi]}) {
+				return nil
+			}
+		}
+		i = j
+	}
+	if f, ok := runner.(interface{ FlushShared() }); ok {
+		f.FlushShared()
+	}
+	return nil
+}

@@ -72,3 +72,41 @@ func TestViolatingTickZeroAlloc(t *testing.T) {
 		t.Fatalf("violating run allocates %.2f objects/tick over %d ticks; want 0", perTick, ticks)
 	}
 }
+
+// TestEngineErrorRunZeroAlloc gates the full per-error serving path —
+// Engine.RunError with every version derived from one all-assertions
+// profile — at zero allocations per run. The campaign calls this tens
+// of thousands of times per experiment; the engine recycles the ByTest
+// maps it finds in the caller's out slice (see RunError's reuse
+// contract), so a steady-state caller that hands the same slice back
+// never touches the heap.
+func TestEngineErrorRunZeroAlloc(t *testing.T) {
+	eng, err := NewEngine(RunConfig{
+		TestCase:      physics.TestCase{MassKg: 14000, VelocityMS: 55},
+		ObservationMs: engineObsMs,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := BuildE1()
+	versions := target.Versions()
+	out := make([]RunResult, len(versions))
+	// Warm-up over a spread of errors so every recorder stream, capture
+	// buffer and the ByTest map pool reach steady-state capacity.
+	for i := 0; i < len(errs); i += 7 {
+		if err := eng.RunError(errs[i], versions, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(10, func() {
+		if err := eng.RunError(errs[(i*7)%len(errs)], versions, out); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("engine error run allocates %.1f objects; want 0", avg)
+	}
+}

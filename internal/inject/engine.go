@@ -121,6 +121,11 @@ type Engine struct {
 
 	nominal *nominalProfile
 	stats   RunnerStats
+
+	// spareBT recycles ByTest maps donated by the caller's out slice
+	// (see RunError): after a warm-up call the derive path allocates
+	// nothing.
+	spareBT []map[core.TestID]int
 }
 
 // nominalProfile is the readout of one full-observation, fault-free run
@@ -148,6 +153,35 @@ type nominalProfile struct {
 // versions genuinely diverge, so campaigns with recovery fall back to
 // from-scratch runs.
 func NewEngine(cfg RunConfig) (*Engine, error) {
+	e, err := newEngineShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Nominal prefix: every error of the test case shares the
+	// trajectory up to the first injection, so it is simulated once.
+	prefix := e.policy.StartMs
+	if prefix > e.obs {
+		prefix = e.obs
+	}
+	for ms := int64(0); ms < prefix; ms++ {
+		e.step()
+	}
+	e.sys.Capture(&e.base)
+	for k := range e.rec.ea {
+		e.baseLen[k] = len(e.rec.ea[k].times)
+		e.baseEA[k].readout = e.rec.ea[k].readout
+		e.baseEA[k].haveReadout = e.rec.ea[k].haveReadout
+	}
+	e.baseFailReadout = e.failReadout
+	e.baseHaveFail = e.haveFailReadout
+	return e, nil
+}
+
+// newEngineShell builds the engine struct and its instrumented system
+// without fast-forwarding it: NewEngine simulates the nominal prefix
+// itself, NewEngineFromProfile restores a shared snapshot instead.
+func newEngineShell(cfg RunConfig) (*Engine, error) {
 	if cfg.Recovery != nil {
 		if _, ok := cfg.Recovery.(core.NoRecovery); !ok {
 			return nil, fmt.Errorf("inject: engine requires detection-only runs (core.NoRecovery), got %T", cfg.Recovery)
@@ -175,24 +209,6 @@ func NewEngine(cfg RunConfig) (*Engine, error) {
 	}
 	e.sys = sys
 	e.mem = sys.Master().Memory()
-
-	// Nominal prefix: every error of the test case shares the
-	// trajectory up to the first injection, so it is simulated once.
-	prefix := e.policy.StartMs
-	if prefix > e.obs {
-		prefix = e.obs
-	}
-	for ms := int64(0); ms < prefix; ms++ {
-		e.step()
-	}
-	e.sys.Capture(&e.base)
-	for k := range e.rec.ea {
-		e.baseLen[k] = len(e.rec.ea[k].times)
-		e.baseEA[k].readout = e.rec.ea[k].readout
-		e.baseEA[k].haveReadout = e.rec.ea[k].haveReadout
-	}
-	e.baseFailReadout = e.failReadout
-	e.baseHaveFail = e.haveFailReadout
 	return e, nil
 }
 
@@ -224,12 +240,25 @@ func (e *Engine) step() {
 // the post-stop quiet window has elapsed, or the observation window
 // ends) and derives the from-scratch RunResult of every requested
 // version into out. len(out) must equal len(versions).
+//
+// Passing out slots still holding a previous RunError's results grants
+// the engine reuse of their ByTest maps (this is what keeps the
+// steady-state error run allocation-free); callers that retain results
+// elsewhere — e.g. the campaign collector — must hand the engine
+// zeroed slots instead.
 func (e *Engine) RunError(err Error, versions []target.Version, out []RunResult) error {
 	if len(out) != len(versions) {
 		return fmt.Errorf("inject: engine needs len(out)=%d, got %d", len(versions), len(out))
 	}
 	e.stats.Errors++
 	e.stats.Simulated++
+	for vi := range out {
+		if m := out[vi].ByTest; m != nil {
+			clear(m)
+			e.spareBT = append(e.spareBT, m)
+			out[vi].ByTest = nil
+		}
+	}
 	if rerr := e.rewind(); rerr != nil {
 		return rerr
 	}
@@ -237,7 +266,10 @@ func (e *Engine) RunError(err Error, versions []target.Version, out []RunResult)
 	for ms := e.policy.StartMs; ms < e.obs; ms++ {
 		if (ms-e.policy.StartMs)%e.policy.PeriodMs == 0 {
 			if aerr := err.Apply(e.mem); aerr != nil {
-				return fmt.Errorf("inject: applying %v: %w", &err, aerr)
+				// err is passed by value: taking its address here would
+				// force the parameter to the heap on every (non-failing)
+				// call and break the zero-alloc gate.
+				return fmt.Errorf("inject: applying %v: %w", err, aerr)
 			}
 		}
 		e.step()
@@ -410,7 +442,7 @@ func (e *Engine) deriveFrom(ea *[target.NumEAs]eaStream, failReadout plantReadou
 		}
 		res.Detections += n
 		if res.ByTest == nil {
-			res.ByTest = make(map[core.TestID]int, 4)
+			res.ByTest = e.takeBT()
 		}
 		for _, id := range s.ids[:n] {
 			res.ByTest[id]++
@@ -456,6 +488,20 @@ func (e *Engine) deriveFrom(ea *[target.NumEAs]eaStream, failReadout plantReadou
 		res.PeakRetardationMS2 = final.maxAccel
 	}
 	return res
+}
+
+// takeBT pops a recycled (already cleared) ByTest map donated through
+// a previous RunError's out slice, or allocates a fresh one. Keeping
+// empty maps out of results preserves the "ByTest is nil when no
+// detection occurred" contract the literal runner has.
+func (e *Engine) takeBT() map[core.TestID]int {
+	if n := len(e.spareBT); n > 0 {
+		m := e.spareBT[n-1]
+		e.spareBT[n-1] = nil
+		e.spareBT = e.spareBT[:n-1]
+		return m
+	}
+	return make(map[core.TestID]int, 4)
 }
 
 func max64(a, b int64) int64 {

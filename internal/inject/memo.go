@@ -3,6 +3,7 @@ package inject
 import (
 	"fmt"
 
+	"easig/internal/core"
 	"easig/internal/target"
 )
 
@@ -32,6 +33,12 @@ type MemoRunner struct {
 	baseM [][]byte // snapshot-time memory bytes, for the delta hash
 	memo  map[uint64]memoEntry
 	stats RunnerStats
+
+	// shared, when non-nil, is the case-wide memo the parallel
+	// scheduler hands every runner of the same test case: lookups fall
+	// back to it lock-free, and FlushShared publishes this runner's
+	// private entries into it at batch barriers.
+	shared *SharedMemo
 }
 
 // memoEntry caches the derived results of one post-injection state
@@ -155,8 +162,12 @@ func (r *MemoRunner) RunError(err Error, versions []target.Version, out []RunRes
 	if herr != nil {
 		return herr
 	}
-	if entry, ok := r.memo[h]; ok && sameVersions(entry.versions, versions) {
-		copy(out, entry.results)
+	entry, ok := r.memo[h]
+	if !ok && r.shared != nil {
+		entry, ok = r.shared.lookup(h)
+	}
+	if ok && sameVersions(entry.versions, versions) {
+		serveMemo(out, entry.results)
 		r.stats.MemoHits++
 		return nil
 	}
@@ -167,7 +178,54 @@ func (r *MemoRunner) RunError(err Error, versions []target.Version, out []RunRes
 	r.stats.Simulated++
 	r.memo[h] = memoEntry{
 		versions: append([]target.Version(nil), versions...),
-		results:  append([]RunResult(nil), out...),
+		results:  cloneResults(out),
 	}
 	return nil
+}
+
+// serveMemo copies a memo entry's results into out. ByTest maps are
+// cloned: the entry's maps may be shared across workers and must stay
+// immutable, while the engine is allowed to recycle maps it finds in
+// out on the next call.
+func serveMemo(out, results []RunResult) {
+	copy(out, results)
+	for i := range out {
+		if out[i].ByTest != nil {
+			m := make(map[core.TestID]int, len(out[i].ByTest))
+			for k, v := range out[i].ByTest {
+				m[k] = v
+			}
+			out[i].ByTest = m
+		}
+	}
+}
+
+// cloneResults deep-copies results for a memo entry, detaching the
+// ByTest maps from the caller's out slice (whose maps the engine may
+// recycle later).
+func cloneResults(out []RunResult) []RunResult {
+	res := append([]RunResult(nil), out...)
+	for i := range res {
+		if res[i].ByTest != nil {
+			m := make(map[core.TestID]int, len(res[i].ByTest))
+			for k, v := range res[i].ByTest {
+				m[k] = v
+			}
+			res[i].ByTest = m
+		}
+	}
+	return res
+}
+
+// FlushShared publishes the runner's private memo entries into the
+// case-wide shared memo. The scheduler calls it at batch barriers —
+// merging there instead of locking per draw is what keeps the memo off
+// the per-run hot path. A runner without a shared memo flushes to
+// nowhere; the private table keeps serving its own duplicates either
+// way.
+func (r *MemoRunner) FlushShared() {
+	if r.shared == nil || len(r.memo) == 0 {
+		return
+	}
+	r.shared.merge(r.memo)
 }

@@ -1,0 +1,273 @@
+package inject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"easig/internal/core"
+	"easig/internal/target"
+)
+
+// CaseProfile is the shared, read-only execution profile of one
+// (test case, injection schedule, seed): everything a Runner needs that
+// is a pure function of the case rather than of the error under
+// injection. The parallel campaign scheduler computes it once per test
+// case and hands it to every worker and every engine mode, instead of
+// letting each worker's runner re-simulate it:
+//
+//   - the nominal-prefix snapshot at the first injection time plus the
+//     recorder streams accumulated up to it (the snapshot engine's
+//     starting point — PR 4 simulated this once per runner, so a case
+//     split across N workers paid for it N times);
+//   - optionally (the "full" stage) the full-observation-window nominal
+//     profile and the def/use liveness map, which the memo runner uses
+//     to prove dead-at-injection faults benign and to derive their
+//     per-version readouts with zero simulation. Before the cache this
+//     was the single most expensive per-runner cost — a complete
+//     fault-free simulation of the whole window — and it is exactly
+//     what forced PR 6 to schedule each case as one indivisible batch.
+//
+// A CaseProfile is immutable after construction. Engines built from it
+// via NewEngineFromProfile share its buffers read-only (Restore only
+// reads from the snapshot; the nominal profile is only consulted, never
+// written), which is what makes one profile safe for any number of
+// concurrent workers.
+type CaseProfile struct {
+	cfg RunConfig
+
+	base       target.SystemState
+	prefixEA   [target.NumEAs]eaStream
+	prefixFail plantReadout
+	prefixHave bool
+
+	// Full-stage fields; nil until the full profile is computed.
+	nominal *nominalProfile
+	live    *Liveness
+	baseMem [][]byte
+}
+
+// Live exposes the liveness map of the full stage (nil for a
+// prefix-only profile).
+func (p *CaseProfile) Live() *Liveness { return p.live }
+
+// profileEntry is one cache slot. The two stages are guarded by
+// separate sync.Onces so snapshot-mode campaigns never pay for the
+// full-window profile that only the memo runner needs.
+type profileEntry struct {
+	prefixOnce sync.Once
+	fullOnce   sync.Once
+	prefixErr  error
+	fullErr    error
+	eng        *Engine
+	p          *CaseProfile
+}
+
+// ProfileCache shares CaseProfiles across the workers of one campaign.
+// Keys are caller-chosen (the campaign uses the test-case index); the
+// caller guarantees that every Get for a key passes an equivalent
+// RunConfig. Get is safe for concurrent use: the first caller of a key
+// computes the stage, everyone else blocks on the same sync.Once and
+// reuses the result.
+type ProfileCache struct {
+	mu      sync.Mutex
+	entries map[int]*profileEntry
+}
+
+// NewProfileCache returns an empty cache.
+func NewProfileCache() *ProfileCache {
+	return &ProfileCache{entries: make(map[int]*profileEntry)}
+}
+
+// Get returns the profile for key, computing the missing stages at
+// most once per cache. With full=false only the nominal-prefix
+// snapshot is guaranteed (what a snapshot Engine needs); with
+// full=true the full-window nominal profile and liveness map are
+// computed too (what a MemoRunner needs).
+func (c *ProfileCache) Get(key int, cfg RunConfig, full bool) (*CaseProfile, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &profileEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.prefixOnce.Do(func() { e.prefixErr = e.computePrefix(cfg) })
+	if e.prefixErr != nil {
+		return nil, e.prefixErr
+	}
+	if full {
+		e.fullOnce.Do(func() { e.fullErr = e.computeFull() })
+		if e.fullErr != nil {
+			return nil, e.fullErr
+		}
+	}
+	return e.p, nil
+}
+
+// computePrefix builds the stage-one profile: a throwaway engine
+// simulates the nominal prefix and its snapshot, prefix streams and
+// readouts are lifted into the CaseProfile. The engine is retained for
+// a later full stage.
+func (e *profileEntry) computePrefix(cfg RunConfig) error {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	p := &CaseProfile{
+		cfg:        eng.cfg,
+		base:       eng.base,
+		prefixFail: eng.baseFailReadout,
+		prefixHave: eng.baseHaveFail,
+	}
+	for k := range eng.rec.ea {
+		s := &eng.rec.ea[k]
+		p.prefixEA[k] = eaStream{
+			times:       append([]int64(nil), s.times[:eng.baseLen[k]]...),
+			ids:         append([]core.TestID(nil), s.ids[:eng.baseLen[k]]...),
+			readout:     eng.baseEA[k].readout,
+			haveReadout: eng.baseEA[k].haveReadout,
+		}
+	}
+	e.eng = eng
+	e.p = p
+	return nil
+}
+
+// computeFull runs the stage-two full-window nominal profile with the
+// liveness pass armed, then drops the throwaway engine.
+func (e *profileEntry) computeFull() error {
+	live := NewLiveness(e.eng.mem.Regions())
+	if err := e.eng.ProfileNominal(live, live.MarkInjection); err != nil {
+		return err
+	}
+	e.p.nominal = e.eng.nominal
+	e.p.live = live
+	e.p.baseMem = e.eng.mem.Snapshot()
+	e.eng = nil
+	return nil
+}
+
+// NewEngineFromProfile builds a snapshot Engine for the profile's test
+// case without re-simulating the nominal prefix: a fresh system is
+// built from the same configuration and fast-forwarded by restoring
+// the shared snapshot. The engine shares the profile's buffers
+// read-only, so any number of engines (one per campaign worker) can be
+// built from one profile concurrently.
+func NewEngineFromProfile(p *CaseProfile) (*Engine, error) {
+	e, err := newEngineShell(p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.base = p.base
+	for k := range e.rec.ea {
+		s := &e.rec.ea[k]
+		s.times = append(s.times, p.prefixEA[k].times...)
+		s.ids = append(s.ids, p.prefixEA[k].ids...)
+		s.readout = p.prefixEA[k].readout
+		s.haveReadout = p.prefixEA[k].haveReadout
+		e.baseLen[k] = len(p.prefixEA[k].times)
+		e.baseEA[k].readout = p.prefixEA[k].readout
+		e.baseEA[k].haveReadout = p.prefixEA[k].haveReadout
+	}
+	e.baseFailReadout = p.prefixFail
+	e.baseHaveFail = p.prefixHave
+	e.failReadout = p.prefixFail
+	e.haveFailReadout = p.prefixHave
+	e.nominal = p.nominal
+	if err := e.sys.Restore(&e.base); err != nil {
+		return nil, fmt.Errorf("inject: fast-forwarding from shared profile: %w", err)
+	}
+	return e, nil
+}
+
+// NewMemoRunnerFromProfile builds a memo runner whose liveness map,
+// nominal profile and snapshot-time memory bytes all come from the
+// shared profile (full stage required) instead of a private
+// full-window simulation. shared, when non-nil, lets the runner
+// publish and consume memoized outcomes across the workers of the
+// case; pass nil for a private memo.
+func NewMemoRunnerFromProfile(p *CaseProfile, shared *SharedMemo) (*MemoRunner, error) {
+	if p.live == nil || p.nominal == nil {
+		return nil, fmt.Errorf("inject: memo runner needs the full profile stage (ProfileCache.Get with full=true)")
+	}
+	eng, err := NewEngineFromProfile(p)
+	if err != nil {
+		return nil, err
+	}
+	return &MemoRunner{
+		eng:    eng,
+		live:   p.live,
+		baseM:  p.baseMem,
+		memo:   make(map[uint64]memoEntry),
+		shared: shared,
+	}, nil
+}
+
+// SharedMemo publishes outcome-memo entries across the runners of one
+// test case. Reads are lock-free — the table is an immutable map
+// behind an atomic pointer, so the per-draw lookup costs one atomic
+// load — and writes are batched: each runner accumulates entries in
+// its private table and merges them at batch barriers via
+// MemoRunner.FlushShared, which rebuilds and republishes the map under
+// a short mutex. Merging at barriers instead of locking per draw keeps
+// the memo off the hot path; the cost is that a duplicate draw served
+// on two workers inside the same batch window may be simulated twice,
+// which affects throughput accounting only — identical state deltas
+// produce identical results, so the tables are unchanged.
+type SharedMemo struct {
+	mu sync.Mutex
+	v  atomic.Pointer[map[uint64]memoEntry]
+}
+
+// lookup consults the published table.
+func (s *SharedMemo) lookup(h uint64) (memoEntry, bool) {
+	m := s.v.Load()
+	if m == nil {
+		return memoEntry{}, false
+	}
+	e, ok := (*m)[h]
+	return e, ok
+}
+
+// Len reports the number of published entries (tests and metrics).
+func (s *SharedMemo) Len() int {
+	m := s.v.Load()
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}
+
+// merge republishes the table extended with every entry of local.
+// Existing keys win: both sides memoized the same run, and keeping the
+// published entry means concurrent readers only ever see one result
+// per key.
+func (s *SharedMemo) merge(local map[uint64]memoEntry) {
+	if len(local) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.v.Load()
+	next := make(map[uint64]memoEntry, lenOf(old)+len(local))
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	for k, v := range local {
+		if _, ok := next[k]; !ok {
+			next[k] = v
+		}
+	}
+	s.v.Store(&next)
+}
+
+func lenOf(m *map[uint64]memoEntry) int {
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}

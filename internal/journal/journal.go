@@ -8,8 +8,10 @@
 // coordinates (version, error index, test-case index), the derived
 // per-run seed and the readouts the campaign aggregators consume
 // (detected / failed / latency / per-assertion breakdown). Records are
-// written unbuffered by a single writer goroutine, so a killed campaign
-// leaves at most one truncated trailing line — which Load tolerates.
+// written by a single writer goroutine that batches queued lines into
+// one write call per wakeup; batches end on line boundaries, so a
+// killed campaign leaves at most one truncated trailing line — which
+// Load tolerates.
 //
 // Resume soundness rests on the determinism contract documented in
 // ARCHITECTURE.md: every per-run seed is a pure function of the

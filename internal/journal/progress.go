@@ -33,6 +33,10 @@ type WorkerMetrics struct {
 	BusyMs int64 `json:"busy_ms"`
 	// Utilization is BusyMs over the campaign wall time (0..1).
 	Utilization float64 `json:"utilization"`
+	// Stolen counts batches this worker claimed from another worker's
+	// queue after draining its own (see the work-stealing scheduler in
+	// internal/experiment).
+	Stolen int `json:"stolen,omitempty"`
 }
 
 // Metrics summarizes a finished (or interrupted) campaign: the numbers

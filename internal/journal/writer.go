@@ -7,23 +7,39 @@ import (
 	"sync"
 )
 
-// Writer appends journal lines through a single writer goroutine, so
-// the campaign collector never blocks on disk latency and the file sees
-// one write call per line (a kill can truncate at most the final line).
-// Writes go straight to the file descriptor — no userspace buffer — so
-// everything before a truncated tail survives a killed process.
+// writerQueueLines is the channel buffer between senders and the
+// drainer: deep enough that a parallel campaign's workers never stall
+// on a disk hiccup during a progress burst.
+const writerQueueLines = 1024
+
+// writerBatchBytes caps one coalesced write. Batches always end on a
+// line boundary — lines are concatenated whole — so a kill mid-batch
+// truncates at most the final partial line of the final batch, which
+// Load already tolerates.
+const writerBatchBytes = 64 * 1024
+
+// Writer appends journal lines through a single drainer goroutine, so
+// campaign workers never block on disk latency. The drainer coalesces
+// every line queued at the moment it wakes into one write call (capped
+// at writerBatchBytes) — at parallel-campaign throughput this turns
+// thousands of per-line write syscalls into a handful of batched ones.
+// Writes go straight to the file descriptor — no userspace buffer that
+// could outlive a crash — so everything before the final (possibly
+// truncated) batch survives a killed process.
 //
-// Writer methods may be called from one goroutine at a time (the
-// campaigns call them from the single collector goroutine); Close is
-// idempotent and safe to defer alongside an explicit call.
+// Writer methods are safe for concurrent use; Close is idempotent and
+// safe to defer alongside an explicit call.
 type Writer struct {
 	f    *os.File
 	ch   chan []byte
 	done chan struct{}
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards closed and the send/close ordering
 	closed bool
-	err    error
+
+	errMu sync.Mutex // guards err; separate so the drainer can record a
+	// write error while a sender holds mu blocked on a full channel
+	err error
 }
 
 // Create opens a fresh journal at path, truncating any previous file.
@@ -49,23 +65,47 @@ func Open(path string) (*Writer, error) {
 func newWriter(f *os.File) *Writer {
 	w := &Writer{
 		f:    f,
-		ch:   make(chan []byte, 256),
+		ch:   make(chan []byte, writerQueueLines),
 		done: make(chan struct{}),
 	}
-	go func() {
-		defer close(w.done)
-		for line := range w.ch {
-			if _, err := w.f.Write(line); err != nil {
-				w.setErr(fmt.Errorf("journal: writing: %w", err))
-			}
-		}
-	}()
+	go w.drain()
 	return w
 }
 
+// drain is the writer goroutine: it blocks for the next line, then
+// opportunistically coalesces everything already queued behind it into
+// one batched write.
+func (w *Writer) drain() {
+	defer close(w.done)
+	buf := make([]byte, 0, writerBatchBytes)
+	for line := range w.ch {
+		buf = append(buf[:0], line...)
+	coalesce:
+		for len(buf) < writerBatchBytes {
+			select {
+			case more, ok := <-w.ch:
+				if !ok {
+					w.write(buf)
+					return
+				}
+				buf = append(buf, more...)
+			default:
+				break coalesce
+			}
+		}
+		w.write(buf)
+	}
+}
+
+func (w *Writer) write(buf []byte) {
+	if _, err := w.f.Write(buf); err != nil {
+		w.setErr(fmt.Errorf("journal: writing: %w", err))
+	}
+}
+
 func (w *Writer) setErr(err error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
 	if w.err == nil {
 		w.err = err
 	}
@@ -73,13 +113,17 @@ func (w *Writer) setErr(err error) {
 
 // Err returns the first write error, if any.
 func (w *Writer) Err() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
 	return w.err
 }
 
-// send marshals v as one JSONL line and hands it to the writer
-// goroutine.
+// send marshals v as one JSONL line and queues it for the drainer. The
+// channel send happens under mu — the same lock Close takes before
+// closing the channel — which is what makes concurrent senders safe
+// against a racing Close (no send on a closed channel, ever). Holding
+// mu across a full-channel stall is fine: the drainer never takes mu,
+// so it keeps draining and the stall resolves.
 func (w *Writer) send(v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -90,8 +134,8 @@ func (w *Writer) send(v any) error {
 		w.mu.Unlock()
 		return fmt.Errorf("journal: write after close")
 	}
-	w.mu.Unlock()
 	w.ch <- append(b, '\n')
+	w.mu.Unlock()
 	return w.Err()
 }
 
@@ -108,7 +152,8 @@ func (w *Writer) Run(r Record) error {
 }
 
 // Close drains pending lines, closes the file and returns the first
-// write error. It is idempotent.
+// write error. It is idempotent and safe to call concurrently with
+// senders: the channel is closed under the same lock send holds.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -116,8 +161,8 @@ func (w *Writer) Close() error {
 		return w.Err()
 	}
 	w.closed = true
-	w.mu.Unlock()
 	close(w.ch)
+	w.mu.Unlock()
 	<-w.done
 	if err := w.f.Close(); err != nil {
 		w.setErr(fmt.Errorf("journal: closing: %w", err))
