@@ -137,6 +137,7 @@ func main() {
 func run() error {
 	var (
 		out     = flag.String("out", "BENCH_PR7.json", "ledger output path")
+		tables  = flag.String("tables", "", "also render the exhaustive campaign's tables to this file (shared reporter path)")
 		grid    = flag.Int("grid", 1, "campaign test-case grid edge")
 		observe = flag.Int64("observe", 16000, "campaign observation window in ms")
 		seed    = flag.Int64("seed", 1, "campaign seed")
@@ -279,6 +280,21 @@ func run() error {
 	led.ExhaustiveMemoHitRate = memoRes.Metrics.MemoHitRate
 	cov, _, _ := memoRes.Total()
 	led.ExhaustivePdetectPct = cov.All.Percent()
+
+	if *tables != "" {
+		// The tables artifact renders through the same reporter path as
+		// fic's stdout and ficd's results endpoint, so a bench run's
+		// Table 9 is diffable against either.
+		rep := easig.CampaignReporter{Format: easig.TextReport{}, Output: easig.FileReport{Path: *tables}}
+		res := &easig.CampaignResults{
+			Spec: easig.CampaignSpec{Grid: *grid, Seed: *seed, ObservationMs: *observe, Exhaustive: true},
+			E2:   memoRes,
+		}
+		if err := rep.Report(res); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *tables)
+	}
 
 	// Memo-hit scenario: the E2 sample served twice through one memo
 	// runner. The second pass's live errors are all repeat state deltas,

@@ -21,6 +21,17 @@
 //	fic -progress                # periodic progress line on stderr
 //	fic -metrics                 # final JSON metrics block on stdout
 //	fic -engine literal          # escape hatch: simulate every run from time zero
+//	fic -format json             # render results as the machine-readable export
+//	fic worker -server URL       # attach to a ficd campaign service as a shard worker
+//
+// In worker mode fic claims shards of a distributed campaign from a
+// ficd service, executes them with the in-process scheduler under a
+// heartbeat-renewed lease, and uploads the shard journals; see
+// SERVICE.md for the protocol and an operator's quickstart.
+//
+// Results render through the shared reporter path (-format text|json):
+// the same bytes whether a campaign ran in this process or was merged
+// from distributed shards by ficd.
 //
 // The -engine flag selects the execution engine behind the unified
 // Runner API: auto (default — snapshot for detection-only campaigns,
@@ -51,13 +62,53 @@ import (
 	"easig"
 	"easig/internal/inject"
 	"easig/internal/journal"
+	"easig/internal/service"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		if err := runWorker(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "fic:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "fic:", err)
 		os.Exit(1)
 	}
+}
+
+// runWorker is the `fic worker` subcommand: attach to a ficd service
+// and process distributed-campaign shards until every campaign is
+// terminal (clean drain) or the process is interrupted.
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("fic worker", flag.ExitOnError)
+	var (
+		server  = fs.String("server", "http://localhost:7070", "ficd base URL")
+		name    = fs.String("name", "", "worker identity in leases and the shard ledger (default hostname-pid)")
+		workers = fs.Int("workers", 0, "in-process pool size per shard (0 = GOMAXPROCS)")
+		poll    = fs.Duration("poll", 500*time.Millisecond, "idle claim-retry interval")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	w, err := service.NewWorker(service.WorkerOptions{
+		Server:  *server,
+		Name:    *name,
+		Workers: *workers,
+		Poll:    *poll,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "fic: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return w.Run(ctx)
 }
 
 func run() error {
@@ -78,6 +129,7 @@ func run() error {
 		progressF   = flag.Bool("progress", false, "render a periodic progress line on stderr")
 		metricsF    = flag.Bool("metrics", false, "print a final JSON metrics block (runs/sec, wall time, per-worker utilization)")
 		engineF     = flag.String("engine", "auto", "execution engine: auto, literal, snapshot or memo")
+		formatF     = flag.String("format", "text", "stdout report format: text (the paper's tables) or json")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile (post-GC, on exit) to this file")
 	)
@@ -124,6 +176,14 @@ func run() error {
 	mode, err := easig.ParseEngineMode(*engineF)
 	if err != nil {
 		return err
+	}
+
+	format, err := easig.ParseReportFormat(*formatF)
+	if err != nil {
+		return err
+	}
+	if format.Name() == "journal" {
+		return fmt.Errorf("-format journal is served by ficd (results?format=journal); fic journals with -journal")
 	}
 
 	if *cpuprofile != "" {
@@ -238,11 +298,11 @@ func run() error {
 		if e1, err = easig.RunE1(cfg); err != nil {
 			return campaignErr(err, jw, *journalF, *resumeF)
 		}
-		fmt.Fprintf(os.Stderr, "fic: E1 done: %d runs in %v (%s)\n", e1.Runs, time.Since(began).Round(time.Second), metricsLine(e1.Metrics))
-		fmt.Println(easig.Table6(*grid * *grid))
-		fmt.Println(easig.Table7(e1))
-		fmt.Println(easig.Table8(e1))
-		fmt.Println(easig.DetectionBreakdown(e1, easig.VersionAll))
+		// e1.Metrics.Runs counts dispatched runs only: journal-replayed
+		// runs cost no simulation time and would inflate the throughput
+		// figure on a resumed campaign.
+		fmt.Fprintf(os.Stderr, "fic: E1 done: %d live runs in %v (%s)\n",
+			e1.Metrics.Runs, time.Since(began).Round(time.Second), metricsLine(e1.Metrics))
 	case "e2", "exhaustive":
 	case "":
 		return fmt.Errorf("nothing to do: pass -experiment e1|e2|exhaustive|all or -print table4|table6|figure2")
@@ -260,26 +320,19 @@ func run() error {
 		if e2, err = easig.RunE2(cfg); err != nil {
 			return campaignErr(err, jw, *journalF, *resumeF)
 		}
-		fmt.Fprintf(os.Stderr, "fic: %s done: %d runs in %v (%s)\n",
+		fmt.Fprintf(os.Stderr, "fic: %s done: %d live runs in %v (%s)\n",
 			map[bool]string{true: "exhaustive E2", false: "E2"}[cfg.Exhaustive],
-			e2.Runs, time.Since(began).Round(time.Second), metricsLine(e2.Metrics))
-		fmt.Println(easig.Table9(e2))
-		if cfg.Exhaustive {
-			cov, _, _ := e2.Total()
-			fmt.Printf("Measured Pdetect over the full fault space (%d positions x %d cases): %.2f%%\n",
-				nErrors, *grid**grid, cov.All.Percent())
-			fmt.Printf("Runner: %s — %d errors served: %d simulated, %d pruned benign (%.1f%%), %d memo hits (%.1f%%)\n",
-				e2.Metrics.Runner, e2.Metrics.Errors, e2.Metrics.Simulated,
-				e2.Metrics.Pruned, 100*e2.Metrics.PruneRate,
-				e2.Metrics.MemoHits, 100*e2.Metrics.MemoHitRate)
-		}
+			e2.Metrics.Runs, time.Since(began).Round(time.Second), metricsLine(e2.Metrics))
 	}
 	if e1 != nil || e2 != nil {
-		fmt.Println(easig.ComputeHeadline(e1, e2))
-	}
-	if e1 != nil && e2 != nil {
-		if fit, err := easig.FitModel(e1, e2); err == nil {
-			fmt.Println(fit)
+		// All result rendering goes through the shared reporter path:
+		// the same Format implementations serve ficd's results endpoint,
+		// so a distributed campaign's merged tables are byte-identical
+		// to this output by construction.
+		res := &easig.CampaignResults{Spec: cfg.Spec, E1: e1, E2: e2}
+		rep := easig.CampaignReporter{Format: format, Output: easig.StdWriter{W: os.Stdout}}
+		if err := rep.Report(res); err != nil {
+			return err
 		}
 	}
 	if *metricsF {
@@ -295,12 +348,8 @@ func run() error {
 		}
 	}
 	if *jsonPath != "" && (e1 != nil || e2 != nil) {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			return fmt.Errorf("creating %s: %w", *jsonPath, err)
-		}
-		defer f.Close()
-		if err := easig.WriteJSON(f, e1, e2); err != nil {
+		rep := easig.CampaignReporter{Format: easig.JSONReport{}, Output: easig.FileReport{Path: *jsonPath}}
+		if err := rep.Report(&easig.CampaignResults{Spec: cfg.Spec, E1: e1, E2: e2}); err != nil {
 			return fmt.Errorf("writing %s: %w", *jsonPath, err)
 		}
 		fmt.Fprintf(os.Stderr, "fic: wrote %s\n", *jsonPath)

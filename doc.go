@@ -37,8 +37,15 @@
 // regenerating Tables 6-9 and Figure 2. Campaigns journal every run,
 // report live progress, and resume from their journal after an
 // interruption with byte-identical tables (CampaignConfig.Journal /
-// Resume / Progress). See the cmd/fic and cmd/arrest tools, the
-// examples directory, EXPERIMENTS.md for paper-versus-measured
-// results, and ARCHITECTURE.md for the package map, the run-loop data
-// flow and the determinism contract behind campaign resume.
+// Resume / Progress). Results render through a pluggable
+// reporter (CampaignReporter: a ReportFormat paired with a
+// ReportOutput), and campaigns distribute across machines through the
+// ficd service — shard plans, lease boards and shard-journal merges
+// (PlanShards, ShardBoard, MergeShards) whose merged tables are
+// byte-identical to a single-process run. See the cmd/fic, cmd/ficd
+// and cmd/arrest tools, the examples directory, EXPERIMENTS.md for
+// paper-versus-measured results, ARCHITECTURE.md for the package map,
+// the run-loop data flow and the determinism contract behind campaign
+// resume, and SERVICE.md for the campaign service's API reference and
+// operator's manual.
 package easig

@@ -70,6 +70,15 @@ type Spec struct {
 	// Placement selects consumer-side (paper) or producer-side
 	// assertion execution (ablation).
 	Placement target.Placement `json:"placement,omitempty"`
+	// Cases, when non-empty, restricts the campaign to the listed
+	// test-case indices of the Grid (0 <= index < Grid*Grid). This is
+	// the shard selector of a distributed campaign (SERVICE.md): a
+	// shard worker runs the campaign Spec with Cases set to its claimed
+	// shard, and because every per-run seed is a function of the
+	// campaign seed and the GLOBAL case index only, the shard's journal
+	// records are byte-identical to the same runs of a single-process
+	// campaign — which is what makes merging shard journals sound.
+	Cases []int `json:"cases,omitempty"`
 }
 
 // Exec is the execution side of a campaign: how the Spec's runs are
@@ -109,6 +118,13 @@ type Exec struct {
 	// after every completed or replayed run with throughput,
 	// completed/total and ETA.
 	Progress func(journal.ProgressEvent)
+	// ReplayOnly asserts that Resume covers the whole campaign: every
+	// run must replay from the journal and none may be dispatched. It
+	// is the merge guard of a distributed campaign — a missing record
+	// in the merged shard journals means a shard was lost, and silently
+	// re-executing it here would mask the loss instead of surfacing it
+	// (see MergeShards and SERVICE.md's failure-mode table).
+	ReplayOnly bool
 }
 
 // Config parameterises a campaign: the serializable protocol Spec plus
@@ -162,6 +178,42 @@ func runSeed(campaign int64, caseIdx int) int64 {
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
 	return int64(x & 0x7FFFFFFFFFFFFFFF)
+}
+
+// gridCase pairs a test case with its GLOBAL grid index; the index, not
+// the position in a shard's case subset, keys journal records and
+// per-run seeds.
+type gridCase struct {
+	idx int
+	tc  physics.TestCase
+}
+
+// gridCases resolves the campaign's test cases: the full Grid*Grid set,
+// or the Spec.Cases shard subset (validated against the grid bounds,
+// with duplicates rejected — a duplicate case would double-count every
+// run of that case in the tables).
+func (c Config) gridCases() ([]gridCase, error) {
+	all := physics.Grid(c.Grid)
+	if len(c.Cases) == 0 {
+		out := make([]gridCase, len(all))
+		for i, tc := range all {
+			out[i] = gridCase{idx: i, tc: tc}
+		}
+		return out, nil
+	}
+	seen := make(map[int]bool, len(c.Cases))
+	out := make([]gridCase, 0, len(c.Cases))
+	for _, idx := range c.Cases {
+		if idx < 0 || idx >= len(all) {
+			return nil, fmt.Errorf("experiment: case index %d out of range for a %dx%d grid", idx, c.Grid, c.Grid)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("experiment: case index %d listed twice", idx)
+		}
+		seen[idx] = true
+		out = append(out, gridCase{idx: idx, tc: all[idx]})
+	}
+	return out, nil
 }
 
 // job is one run descriptor handed to the worker pool.
@@ -262,6 +314,17 @@ func partition(cfg Config, exp string, mode inject.Mode, jobs []job) (live []job
 		replay = append(replay, replayed(j, rec))
 	}
 	return live, replay, nil
+}
+
+// checkReplayOnly enforces Exec.ReplayOnly after partitioning: a
+// replay-only campaign (the merge step of a distributed campaign) must
+// find every run in its journal.
+func (c Config) checkReplayOnly(exp string, live []job, total int) error {
+	if !c.ReplayOnly || len(live) == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiment: replay-only %s campaign is missing %d of %d journaled runs (first missing: version %d error %d case %d) — a shard journal is absent or incomplete",
+		exp, len(live), total, int(live[0].version), live[0].errIdx, live[0].caseIdx)
 }
 
 // resolveMode resolves the configured engine mode against the recovery
@@ -583,7 +646,10 @@ func RunE1(cfg Config) (*E1Result, error) {
 		return nil, err
 	}
 	errors := inject.BuildE1()
-	cases := physics.Grid(cfg.Grid)
+	cases, err := cfg.gridCases()
+	if err != nil {
+		return nil, err
+	}
 	res := &E1Result{Versions: cfg.Versions}
 	for sig := range res.Coverage {
 		res.Coverage[sig] = make([]stats.Coverage, len(cfg.Versions))
@@ -596,8 +662,8 @@ func RunE1(cfg Config) (*E1Result, error) {
 	var jobs []job
 	for _, v := range cfg.Versions {
 		for ei, e := range errors {
-			for ci, tc := range cases {
-				jobs = append(jobs, job{version: v, errIdx: ei, err: e, caseIdx: ci, tc: tc})
+			for _, gc := range cases {
+				jobs = append(jobs, job{version: v, errIdx: ei, err: e, caseIdx: gc.idx, tc: gc.tc})
 			}
 		}
 	}
@@ -615,6 +681,9 @@ func RunE1(cfg Config) (*E1Result, error) {
 	}
 	live, replay, err := partition(cfg, ExperimentE1, mode, jobs)
 	if err != nil {
+		return nil, err
+	}
+	if err := cfg.checkReplayOnly(ExperimentE1, live, len(jobs)); err != nil {
 		return nil, err
 	}
 	for _, o := range replay {
@@ -678,7 +747,10 @@ func RunE2(cfg Config) (*E2Result, error) {
 		exp = ExperimentExhaustive
 		errors = inject.BuildExhaustive()
 	}
-	cases := physics.Grid(cfg.Grid)
+	cases, err := cfg.gridCases()
+	if err != nil {
+		return nil, err
+	}
 	res := &E2Result{
 		Coverage:    map[string]*stats.Coverage{},
 		LatencyAll:  map[string]*stats.Latency{},
@@ -691,8 +763,8 @@ func RunE2(cfg Config) (*E2Result, error) {
 	}
 	var jobs []job
 	for ei, e := range errors {
-		for ci, tc := range cases {
-			jobs = append(jobs, job{version: target.VersionAll, errIdx: ei, err: e, caseIdx: ci, tc: tc})
+		for _, gc := range cases {
+			jobs = append(jobs, job{version: target.VersionAll, errIdx: ei, err: e, caseIdx: gc.idx, tc: gc.tc})
 		}
 	}
 	collect := func(o outcome) {
@@ -708,6 +780,9 @@ func RunE2(cfg Config) (*E2Result, error) {
 	}
 	live, replay, err := partition(cfg, exp, mode, jobs)
 	if err != nil {
+		return nil, err
+	}
+	if err := cfg.checkReplayOnly(exp, live, len(jobs)); err != nil {
 		return nil, err
 	}
 	for _, o := range replay {

@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"easig/internal/inject"
+	"easig/internal/journal"
+	"easig/internal/target"
+)
+
+// The runner/reporter split: campaigns produce Results, and a Reporter
+// — a Format (how results render) paired with an Output (where the
+// rendering goes) — turns them into the paper's tables. fic, the ficd
+// service and cmd/bench all render through this one path, so the text a
+// CI job diffs, the body an HTTP client downloads and the tables an
+// operator reads in a terminal are byte-identical by construction.
+
+// Results bundles the outputs of a campaign (one or both experiments)
+// with the Spec that produced them — everything a Format needs to
+// render the paper's tables, and nothing about how the runs were
+// executed or distributed.
+type Results struct {
+	// Spec is the campaign protocol the results were measured under.
+	Spec Spec `json:"spec"`
+	// E1 holds the Tables 7-8 aggregates when E1 ran.
+	E1 *E1Result `json:"-"`
+	// E2 holds the Table 9 aggregates when E2 (or the exhaustive
+	// census) ran.
+	E2 *E2Result `json:"-"`
+	// Journal, when non-nil, is the campaign's run journal (for a
+	// distributed campaign: the merged shard journals). JournalFormat
+	// renders it; the table formats ignore it.
+	Journal *journal.Log `json:"-"`
+}
+
+// Format renders Results in one concrete representation.
+type Format interface {
+	// Name identifies the format ("text", "json", "journal") — the
+	// value of fic's -format flag and ficd's ?format query parameter.
+	Name() string
+	// Render writes the formatted results to w.
+	Render(w io.Writer, r *Results) error
+}
+
+// Output is a sink for one rendered report.
+type Output interface {
+	// Emit runs render against the output's destination.
+	Emit(render func(io.Writer) error) error
+}
+
+// Reporter pairs a Format with an Output.
+type Reporter struct {
+	Format Format
+	Output Output
+}
+
+// Report renders the results through the reporter's format into its
+// output.
+func (rep Reporter) Report(r *Results) error {
+	if rep.Format == nil || rep.Output == nil {
+		return fmt.Errorf("experiment: reporter needs both a format and an output")
+	}
+	return rep.Output.Emit(func(w io.Writer) error {
+		return rep.Format.Render(w, r)
+	})
+}
+
+// TextFormat renders the paper's fixed-width tables — the same bytes
+// fic has always printed: Table 6 and Tables 7-8 with the detection
+// breakdown for E1, Table 9 (plus the measured-Pdetect and runner lines
+// of an exhaustive census) for E2, then the headline block and, when
+// both experiments ran, the analytical model fit. The byte-for-byte
+// stability of this rendering is what lets the CI smoke job diff a
+// distributed campaign's merged tables against a single-process run.
+type TextFormat struct{}
+
+// Name returns "text".
+func (TextFormat) Name() string { return "text" }
+
+// Render writes the text tables.
+func (TextFormat) Render(w io.Writer, r *Results) error {
+	cfg := Config{Spec: r.Spec}.withDefaults()
+	cases := cfg.Grid * cfg.Grid
+	if r.E1 != nil {
+		if _, err := fmt.Fprintln(w, Table6(cases)); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, Table7(r.E1))
+		fmt.Fprintln(w, Table8(r.E1))
+		fmt.Fprintln(w, TestBreakdown(r.E1, target.VersionAll))
+	}
+	if r.E2 != nil {
+		if _, err := fmt.Fprintln(w, Table9(r.E2)); err != nil {
+			return err
+		}
+		if r.Spec.Exhaustive {
+			cov, _, _ := r.E2.Total()
+			fmt.Fprintf(w, "Measured Pdetect over the full fault space (%d positions x %d cases): %.2f%%\n",
+				len(inject.BuildExhaustive()), cases, cov.All.Percent())
+			m := r.E2.Metrics
+			fmt.Fprintf(w, "Runner: %s — %d errors served: %d simulated, %d pruned benign (%.1f%%), %d memo hits (%.1f%%)\n",
+				m.Runner, m.Errors, m.Simulated,
+				m.Pruned, 100*m.PruneRate,
+				m.MemoHits, 100*m.MemoHitRate)
+		}
+	}
+	if r.E1 != nil || r.E2 != nil {
+		if _, err := fmt.Fprintln(w, ComputeHeadline(r.E1, r.E2)); err != nil {
+			return err
+		}
+	}
+	if r.E1 != nil && r.E2 != nil {
+		if fit, err := FitModel(r.E1, r.E2); err == nil {
+			if _, err := fmt.Fprintln(w, fit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSONFormat renders the machine-readable export (export.go's stable
+// schema): cells, totals, breakdowns, headline and model fit as one
+// indented JSON document.
+type JSONFormat struct{}
+
+// Name returns "json".
+func (JSONFormat) Name() string { return "json" }
+
+// Render writes the JSON export.
+func (JSONFormat) Render(w io.Writer, r *Results) error {
+	return WriteJSON(w, r.E1, r.E2)
+}
+
+// JournalFormat renders Results.Journal as JSONL journal lines —
+// headers, then run records, then shard-ledger claims. This is the
+// format behind ficd's journal download endpoint: a client can fetch a
+// distributed campaign's merged journal and replay it locally with
+// `fic -resume`. Within each kind, file order is preserved (which is
+// all replay requires: Lookup is order-insensitive for runs, and claims
+// replay latest-wins per shard).
+type JournalFormat struct{}
+
+// Name returns "journal".
+func (JournalFormat) Name() string { return "journal" }
+
+// Render writes the journal lines.
+func (JournalFormat) Render(w io.Writer, r *Results) error {
+	if r.Journal == nil {
+		return fmt.Errorf("experiment: results carry no journal to render")
+	}
+	enc := json.NewEncoder(w)
+	for _, h := range r.Journal.Headers {
+		h.Kind = journal.KindHeader
+		if err := enc.Encode(h); err != nil {
+			return err
+		}
+	}
+	for _, rec := range r.Journal.Runs {
+		rec.Kind = journal.KindRun
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Journal.Claims {
+		if err := enc.Encode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseFormat resolves a format name ("text", "json", "journal"/
+// "jsonl") to its Format.
+func ParseFormat(name string) (Format, error) {
+	switch name {
+	case "", "text":
+		return TextFormat{}, nil
+	case "json":
+		return JSONFormat{}, nil
+	case "journal", "jsonl":
+		return JournalFormat{}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown report format %q (want text, json or journal)", name)
+	}
+}
+
+// WriterOutput emits to an io.Writer — stdout, a buffer, or an HTTP
+// response.
+type WriterOutput struct{ W io.Writer }
+
+// Emit renders into the writer.
+func (o WriterOutput) Emit(render func(io.Writer) error) error {
+	return render(o.W)
+}
+
+// FileOutput emits to a file, created (truncating) at Emit time.
+type FileOutput struct{ Path string }
+
+// Emit creates the file and renders into it.
+func (o FileOutput) Emit(render func(io.Writer) error) error {
+	f, err := os.Create(o.Path)
+	if err != nil {
+		return fmt.Errorf("experiment: creating report %s: %w", o.Path, err)
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

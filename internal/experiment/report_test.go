@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easig/internal/journal"
+	"easig/internal/target"
+)
+
+func TestParseFormat(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "text", "text": "text", "json": "json",
+		"journal": "journal", "jsonl": "journal",
+	} {
+		f, err := ParseFormat(name)
+		if err != nil || f.Name() != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %s", name, f, err, want)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat accepted xml")
+	}
+}
+
+func TestTextFormatMatchesFicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scaled campaign")
+	}
+	spec := shardTestSpec(959595)
+	e1, err := RunE1(Config{Spec: spec, Exec: Exec{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := RunE2(Config{Spec: spec, Exec: Exec{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The byte sequence fic's table-printing path has always produced.
+	var want bytes.Buffer
+	cases := spec.Grid * spec.Grid
+	fmt.Fprintln(&want, Table6(cases))
+	fmt.Fprintln(&want, Table7(e1))
+	fmt.Fprintln(&want, Table8(e1))
+	fmt.Fprintln(&want, TestBreakdown(e1, target.VersionAll))
+	fmt.Fprintln(&want, Table9(e2))
+	fmt.Fprintln(&want, ComputeHeadline(e1, e2))
+	if fit, err := FitModel(e1, e2); err == nil {
+		fmt.Fprintln(&want, fit)
+	}
+
+	var got bytes.Buffer
+	rep := Reporter{Format: TextFormat{}, Output: WriterOutput{W: &got}}
+	if err := rep.Report(&Results{Spec: spec, E1: e1, E2: e2}); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("TextFormat diverges from fic's print sequence:\ngot:\n%s\nwant:\n%s", got.String(), want.String())
+	}
+
+	// JSONFormat renders the stable export schema.
+	var js bytes.Buffer
+	if err := (Reporter{Format: JSONFormat{}, Output: WriterOutput{W: &js}}).Report(&Results{Spec: spec, E1: e1, E2: e2}); err != nil {
+		t.Fatal(err)
+	}
+	var wantJS bytes.Buffer
+	if err := WriteJSON(&wantJS, e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	if js.String() != wantJS.String() {
+		t.Fatal("JSONFormat diverges from WriteJSON")
+	}
+}
+
+func TestJournalFormatRoundTrips(t *testing.T) {
+	spec := shardTestSpec(13)
+	log := fakeShardJournal(spec, ExperimentE1, []int{0}, "snapshot")
+	log.Claims = []journal.Claim{{Kind: journal.KindClaim, Campaign: "c", Shard: 0, Worker: "w"}}
+
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	rep := Reporter{Format: JournalFormat{}, Output: FileOutput{Path: path}}
+	if err := rep.Report(&Results{Spec: spec, Journal: log}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := journal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Headers) != 1 || len(loaded.Runs) != len(log.Runs) || len(loaded.Claims) != 1 {
+		t.Fatalf("round-tripped journal has %d headers %d runs %d claims, want 1 %d 1",
+			len(loaded.Headers), len(loaded.Runs), len(loaded.Claims), len(log.Runs))
+	}
+	if loaded.Truncated {
+		t.Fatal("round-tripped journal flagged truncated")
+	}
+
+	// Without a journal the format refuses rather than writing nothing.
+	var buf bytes.Buffer
+	err = (Reporter{Format: JournalFormat{}, Output: WriterOutput{W: &buf}}).Report(&Results{Spec: spec})
+	if err == nil || !strings.Contains(err.Error(), "no journal") {
+		t.Fatalf("JournalFormat without journal = %v, want no-journal error", err)
+	}
+}
+
+func TestFileOutputWriteError(t *testing.T) {
+	rep := Reporter{Format: TextFormat{}, Output: FileOutput{Path: filepath.Join(t.TempDir(), "no", "such", "dir.txt")}}
+	if err := rep.Report(&Results{}); err == nil {
+		t.Fatal("FileOutput created a file under a missing directory")
+	}
+	if rep := (Reporter{Format: TextFormat{}}); rep.Report(&Results{}) == nil {
+		t.Fatal("reporter without an output reported")
+	}
+}

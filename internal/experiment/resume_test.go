@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"easig/internal/inject"
 	"easig/internal/journal"
@@ -264,6 +265,92 @@ func TestResumeRejectsRunnerModeMismatch(t *testing.T) {
 	good.Mode = inject.ModeSnapshot
 	if _, err := RunE1(good); err != nil {
 		t.Errorf("matching engine mode rejected: %v", err)
+	}
+}
+
+// TestProgressRateCountsDispatchedRunsOnly pins the throughput contract
+// of resumed campaigns: journal-replayed runs land in the aggregators at
+// memory speed, so counting them as fresh completions would inflate
+// RunsPerSec (and collapse the ETA) the moment a -resume campaign
+// starts. Every progress event's rate and ETA must be derived from
+// dispatched (live) runs alone.
+func TestProgressRateCountsDispatchedRunsOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scaled campaign twice")
+	}
+	const seed = 31337
+	path := filepath.Join(t.TempDir(), "e1.jsonl")
+
+	// Record roughly half the campaign, then resume it.
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := resumeTestConfig(seed)
+	cfg.Context = ctx
+	cfg.Journal = w
+	total := 0
+	var completed atomic.Int64
+	cfg.Progress = func(ev journal.ProgressEvent) {
+		total = ev.Total
+		if completed.Add(1) == int64(ev.Total/2) {
+			cancel()
+		}
+	}
+	if _, err := RunE1(cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign error = %v, want context.Canceled", err)
+	}
+	cancel()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := journal.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.Runs); n == 0 || n >= total {
+		t.Fatalf("journal holds %d of %d runs, want a strict partial campaign", n, total)
+	}
+
+	cfg = resumeTestConfig(seed)
+	cfg.Resume = log
+	events := 0
+	cfg.Progress = func(ev journal.ProgressEvent) {
+		events++
+		live := ev.Completed - ev.Resumed
+		if ev.RunsPerSec == 0 {
+			return // no live run finished yet (or zero elapsed)
+		}
+		// The rate must reconcile with the live count, not with
+		// Completed: a rate derived from Completed would be off by the
+		// resumed share (at least 2x here, since half the campaign
+		// replays instantly).
+		fromRate := ev.RunsPerSec * ev.Elapsed.Seconds()
+		if diff := fromRate - float64(live); diff > 1.5 || diff < -1.5 {
+			t.Fatalf("event %d: RunsPerSec %.1f x elapsed %v = %.1f runs, want the %d live runs (completed %d, resumed %d) — replayed runs counted as throughput",
+				events, ev.RunsPerSec, ev.Elapsed, fromRate, live, ev.Completed, ev.Resumed)
+		}
+		if remaining := ev.Total - ev.Completed; remaining > 0 {
+			wantETA := time.Duration(float64(remaining) / ev.RunsPerSec * float64(time.Second))
+			if d := ev.ETA - wantETA; d > time.Millisecond || d < -time.Millisecond {
+				t.Fatalf("event %d: ETA %v, want %v (remaining %d at %.1f live runs/s)",
+					events, ev.ETA, wantETA, remaining, ev.RunsPerSec)
+			}
+		}
+	}
+	res, err := RunE1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Progress fires once per dispatched run; the replayed share only
+	// pre-seeds Completed and Total.
+	if events != total-len(log.Runs) {
+		t.Errorf("progress delivered %d events, want one per dispatched run (%d)", events, total-len(log.Runs))
+	}
+	if res.Metrics.Resumed != len(log.Runs) || res.Metrics.Runs != total-len(log.Runs) {
+		t.Errorf("metrics live/resumed = %d/%d, want %d/%d",
+			res.Metrics.Runs, res.Metrics.Resumed, total-len(log.Runs), len(log.Runs))
 	}
 }
 

@@ -27,6 +27,21 @@ import (
 // once per campaign, and every worker's runner is built from that
 // read-only profile. Memoized outcomes cross workers through a
 // per-case inject.SharedMemo, merged at batch barriers.
+//
+// Concurrency contract, structure by structure: workQueue claims are a
+// single CAS on an atomic cursor over an immutable batch slice (no
+// locks, no ABA — the cursor only advances); CaseProfiles are immutable
+// after construction and shared read-only; SharedMemo reads are one
+// atomic load of an immutable map, writes merge at batch barriers under
+// a short mutex; journal appends flow through the writer's single
+// drainer goroutine, which coalesces queued lines into 64 KiB
+// line-aligned batches. None of this may change a cell of the paper's
+// Tables 7-9: per-run seeds depend only on the test case (not the
+// worker), the §3.4 protocol's aggregates are order-independent
+// integer totals, and journal comparisons key on run coordinates.
+// TestWorkQueueConcurrentClaims gates exactly-once batch claims under
+// contention, and TestSchedulerWorkerCountEquivalence pins 1-worker vs
+// 8-worker campaigns to byte-identical tables and record sets.
 
 // workQueue is one worker's share of the batch list. take claims the
 // next batch lock-free; the same method is the steal path when another

@@ -21,12 +21,20 @@
 // campaign's Tables 7-9 byte for byte. Each Record stores its seed so a
 // resume against a different campaign configuration is detected instead
 // of silently polluting the tables.
+//
+// The same format carries the distributed campaign protocol
+// (SERVICE.md): Claim lines record shard leases and completions in the
+// ficd service's shard ledger, and Merge folds the shard journals of a
+// campaign executed across worker processes back into one logical
+// journal whose replay renders the single-process tables byte for
+// byte.
 package journal
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -36,6 +44,14 @@ const (
 	KindHeader = "header"
 	// KindRun marks a completed-run record line.
 	KindRun = "run"
+	// KindClaim marks a shard-claim (or lease-renewal) line of the
+	// distributed campaign protocol: a worker holds a lease on a block
+	// of test cases (see SERVICE.md). Appending a new claim for the
+	// same shard renews or reassigns the lease; the latest line wins.
+	KindClaim = "claim"
+	// KindShardDone marks a shard-completion line: the shard's journal
+	// has been uploaded and validated, and its lease is retired.
+	KindShardDone = "shard_done"
 )
 
 // Header is the campaign identification line written when a campaign
@@ -90,6 +106,38 @@ type Record struct {
 	ByTest map[int]int `json:"by_test,omitempty"`
 }
 
+// Claim is one line of the shard-claim/lease protocol that distributes
+// a campaign across worker processes (the `ficd` service, SERVICE.md).
+// The shard ledger is an append-only event log in the same JSONL
+// journal format as run records, so the existing writer (single
+// drainer goroutine, line-aligned batches) and loader (truncation
+// tolerance) carry the distributed protocol unchanged. The ledger is
+// replayed in file order to recover the shard state machine after a
+// service restart: for each shard the latest claim line names the
+// lease holder and expiry, and a shard_done line retires the shard.
+type Claim struct {
+	// Kind is KindClaim or KindShardDone.
+	Kind string `json:"kind"`
+	// Experiment names the campaign the shard belongs to.
+	Experiment string `json:"experiment,omitempty"`
+	// Campaign is the service-assigned campaign identifier.
+	Campaign string `json:"campaign,omitempty"`
+	// Shard is the shard index in the campaign's shard plan.
+	Shard int `json:"shard"`
+	// Cases lists the grid case indices the shard covers.
+	Cases []int `json:"cases,omitempty"`
+	// Worker identifies the lease holder.
+	Worker string `json:"worker,omitempty"`
+	// GrantedMs is the grant (or renewal) wall-clock time in Unix
+	// milliseconds.
+	GrantedMs int64 `json:"granted_ms,omitempty"`
+	// LeaseMs is the lease duration from GrantedMs; a shard whose
+	// latest claim has expired is reclaimable by any worker.
+	LeaseMs int64 `json:"lease_ms,omitempty"`
+	// Runs is the shard's validated run count (shard_done lines only).
+	Runs int `json:"runs,omitempty"`
+}
+
 // Key locates one run inside a campaign: the coordinates that, together
 // with the campaign seed, determine the run completely.
 type Key struct {
@@ -110,6 +158,9 @@ type Log struct {
 	Headers []Header
 	// Runs lists the completed-run records.
 	Runs []Record
+	// Claims lists the shard-claim and shard-done lines of a service
+	// shard ledger, in file order (replay order for lease recovery).
+	Claims []Claim
 	// Truncated reports that the final line was incomplete — the
 	// signature of a killed campaign — and was dropped.
 	Truncated bool
@@ -124,9 +175,20 @@ func Load(path string) (*Log, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
+	log, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	return log, nil
+}
 
+// Read parses a journal from a stream — the path a shard journal takes
+// when a worker uploads it over HTTP (SERVICE.md) instead of leaving it
+// on local disk. Semantics match Load: a malformed final line is
+// dropped and flagged Truncated, a malformed interior line is an error.
+func Read(r io.Reader) (*Log, error) {
 	var lines [][]byte
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		if len(sc.Bytes()) == 0 {
@@ -137,7 +199,7 @@ func Load(path string) (*Log, error) {
 		lines = append(lines, line)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+		return nil, fmt.Errorf("reading: %w", err)
 	}
 
 	log := &Log{}
@@ -150,21 +212,27 @@ func Load(path string) (*Log, error) {
 				log.Truncated = true
 				break
 			}
-			return nil, fmt.Errorf("journal: %s line %d: %w", path, i+1, err)
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
 		}
 		switch probe.Kind {
 		case KindHeader:
 			var h Header
 			if err := json.Unmarshal(line, &h); err != nil {
-				return nil, fmt.Errorf("journal: %s line %d: %w", path, i+1, err)
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
 			}
 			log.Headers = append(log.Headers, h)
 		case KindRun:
 			var r Record
 			if err := json.Unmarshal(line, &r); err != nil {
-				return nil, fmt.Errorf("journal: %s line %d: %w", path, i+1, err)
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
 			}
 			log.Runs = append(log.Runs, r)
+		case KindClaim, KindShardDone:
+			var c Claim
+			if err := json.Unmarshal(line, &c); err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			log.Claims = append(log.Claims, c)
 		default:
 			// Unknown kinds are skipped so old readers survive future
 			// record types.
@@ -194,4 +262,70 @@ func (l *Log) Lookup(experiment string) map[Key]Record {
 		}
 	}
 	return out
+}
+
+// Merge combines shard journals into one logical campaign journal — the
+// reduce step of a distributed campaign (SERVICE.md): each worker
+// process journals its shard's runs locally, and the service merges the
+// uploaded shard journals before replaying them into the Table 7-9
+// aggregators.
+//
+// Every experiment's headers must agree on seed, grid and runner mode
+// (they were recorded by workers executing the same Spec); the merged
+// header sums the shard totals. Duplicate run records — a shard
+// re-executed after a lease expired under a worker that had in fact
+// completed it — are tolerated: the determinism contract
+// (seed = f(campaign seed, case)) makes every re-execution of a run
+// byte-identical, so the merge keeps the last occurrence, matching
+// Lookup's resume semantics. Merge order therefore cannot change a
+// table cell; out-of-order shard completion is the normal case.
+func Merge(logs ...*Log) (*Log, error) {
+	merged := &Log{}
+	byExp := make(map[string]*Header)
+	var expOrder []string
+	for i, l := range logs {
+		if l == nil {
+			return nil, fmt.Errorf("journal: merge: shard %d is nil", i)
+		}
+		for _, h := range l.Headers {
+			have := byExp[h.Experiment]
+			if have == nil {
+				h := h
+				byExp[h.Experiment] = &h
+				expOrder = append(expOrder, h.Experiment)
+				continue
+			}
+			if have.Seed != h.Seed || have.Grid != h.Grid {
+				return nil, fmt.Errorf("journal: merge: %s shard headers disagree: seed %d grid %d vs seed %d grid %d — shards are from different campaigns",
+					h.Experiment, have.Seed, have.Grid, h.Seed, h.Grid)
+			}
+			if have.Runner != h.Runner {
+				return nil, fmt.Errorf("journal: merge: %s shards were recorded by different engines (%q vs %q) — tables must have a single provenance",
+					h.Experiment, have.Runner, h.Runner)
+			}
+			have.Total += h.Total
+		}
+		merged.Runs = append(merged.Runs, l.Runs...)
+		merged.Claims = append(merged.Claims, l.Claims...)
+		if l.Truncated {
+			merged.Truncated = true
+		}
+	}
+	for _, exp := range expOrder {
+		merged.Headers = append(merged.Headers, *byExp[exp])
+	}
+	return merged, nil
+}
+
+// MergeFiles loads and merges shard journal files.
+func MergeFiles(paths ...string) (*Log, error) {
+	logs := make([]*Log, len(paths))
+	for i, p := range paths {
+		l, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		logs[i] = l
+	}
+	return Merge(logs...)
 }

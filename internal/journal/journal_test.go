@@ -169,3 +169,95 @@ func TestOpenAppends(t *testing.T) {
 		t.Error("Lookup did not prefer the later duplicate")
 	}
 }
+
+func TestClaimRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Claim(Claim{Experiment: "E1", Campaign: "c1", Shard: 2, Cases: []int{2}, Worker: "w1", GrantedMs: 1000, LeaseMs: 30000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Claim(Claim{Experiment: "E1", Campaign: "c1", Shard: 2, Cases: []int{2}, Worker: "w2", GrantedMs: 40000, LeaseMs: 30000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ShardDone(Claim{Experiment: "E1", Campaign: "c1", Shard: 2, Worker: "w2", Runs: 224}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Claims) != 3 {
+		t.Fatalf("got %d claim lines, want 3", len(log.Claims))
+	}
+	if log.Claims[0].Kind != KindClaim || log.Claims[0].Worker != "w1" || log.Claims[0].Cases[0] != 2 {
+		t.Errorf("claim 0 round-trip: %+v", log.Claims[0])
+	}
+	if log.Claims[1].Worker != "w2" || log.Claims[1].GrantedMs != 40000 {
+		t.Errorf("renewal round-trip: %+v", log.Claims[1])
+	}
+	if done := log.Claims[2]; done.Kind != KindShardDone || done.Runs != 224 {
+		t.Errorf("shard_done round-trip: %+v", done)
+	}
+}
+
+// TestMergeShardJournals exercises the reduce step of a distributed
+// campaign: shard journals merged out of order, with duplicate records
+// from a re-executed shard, must agree on headers and keep Lookup's
+// last-wins dedup semantics.
+func TestMergeShardJournals(t *testing.T) {
+	shard := func(total int, runs ...Record) *Log {
+		return &Log{
+			Headers: []Header{{Experiment: "E1", Seed: 7, Grid: 2, Total: total, Runner: "snapshot"}},
+			Runs:    runs,
+		}
+	}
+	a := shard(2,
+		Record{Experiment: "E1", Version: 8, ErrIdx: 0, CaseIdx: 0, Seed: 11, Detected: true},
+		Record{Experiment: "E1", Version: 8, ErrIdx: 1, CaseIdx: 0, Seed: 11})
+	b := shard(2,
+		Record{Experiment: "E1", Version: 8, ErrIdx: 0, CaseIdx: 1, Seed: 12},
+		Record{Experiment: "E1", Version: 8, ErrIdx: 1, CaseIdx: 1, Seed: 12, Failed: true})
+	// A duplicate of one of a's runs, as a reclaimed-lease re-execution
+	// would upload; determinism makes the payload identical.
+	dup := shard(1,
+		Record{Experiment: "E1", Version: 8, ErrIdx: 0, CaseIdx: 0, Seed: 11, Detected: true})
+
+	for name, order := range map[string][]*Log{
+		"in-order":     {a, b, dup},
+		"out-of-order": {dup, b, a},
+	} {
+		m, err := Merge(order...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m.Headers) != 1 || m.Headers[0].Total != 5 {
+			t.Errorf("%s: merged headers = %+v, want one E1 header with summed total 5", name, m.Headers)
+		}
+		byKey := m.Lookup("E1")
+		if len(byKey) != 4 {
+			t.Errorf("%s: merged lookup has %d unique runs, want 4", name, len(byKey))
+		}
+		if r := byKey[Key{Version: 8, ErrIdx: 0, CaseIdx: 0}]; !r.Detected {
+			t.Errorf("%s: duplicate run lost its payload: %+v", name, r)
+		}
+	}
+
+	// Shards from different campaigns must not merge.
+	foreign := shard(1, Record{Experiment: "E1", Version: 8, ErrIdx: 9, CaseIdx: 0, Seed: 99})
+	foreign.Headers[0].Seed = 8
+	if _, err := Merge(a, foreign); err == nil {
+		t.Error("merge accepted shards with disagreeing seeds")
+	}
+	mixed := shard(1)
+	mixed.Headers[0].Runner = "literal"
+	if _, err := Merge(a, mixed); err == nil {
+		t.Error("merge accepted shards from different engines")
+	}
+}

@@ -1,0 +1,328 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"easig/internal/experiment"
+	"easig/internal/inject"
+	"easig/internal/journal"
+)
+
+// WorkerOptions configures a shard worker.
+type WorkerOptions struct {
+	// Server is the ficd base URL (e.g. "http://localhost:7070").
+	Server string
+	// Name identifies this worker in leases and the shard ledger; it
+	// must be unique among concurrently attached workers.
+	Name string
+	// Workers sizes the in-process pool each shard runs on (0 =
+	// GOMAXPROCS) — the PR 7 work-stealing scheduler operates within
+	// every claimed shard.
+	Workers int
+	// Poll is the idle claim-retry interval (default 500 ms).
+	Poll time.Duration
+	// Client overrides the HTTP client.
+	Client *http.Client
+	// Logf, when non-nil, receives one line per worker event.
+	Logf func(format string, args ...any)
+}
+
+// Worker is the `fic worker` client: it polls the service for running
+// campaigns, claims shards under lease, executes each shard with the
+// in-process campaign machinery (journaling every run), heartbeats at
+// a third of the lease interval, and uploads the shard journal on
+// completion. A worker that loses its lease — the service reclaimed the
+// shard after missed heartbeats — abandons the shard and claims fresh
+// work; the re-executed shard is byte-identical by determinism.
+type Worker struct {
+	opts WorkerOptions
+}
+
+// ErrLeaseLost reports a heartbeat rejected by the service: the shard's
+// lease expired and was reclaimed (or completed) while this worker held
+// it.
+var ErrLeaseLost = errors.New("service: shard lease lost")
+
+// NewWorker validates the options and builds a Worker.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Server == "" {
+		return nil, fmt.Errorf("service: worker needs a server URL")
+	}
+	opts.Server = strings.TrimRight(opts.Server, "/")
+	if opts.Name == "" {
+		host, _ := os.Hostname()
+		opts.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Worker{opts: opts}, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+// Run attaches to the service and processes shards until the context is
+// cancelled or every known campaign is terminal. It returns nil on a
+// clean drain (all campaigns complete or failed).
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		var list ListResponse
+		if err := w.getJSON(ctx, "/api/v1/campaigns", &list); err != nil {
+			w.logf("worker %s: listing campaigns: %v", w.opts.Name, err)
+			if !w.sleep(ctx) {
+				return nil
+			}
+			continue
+		}
+		claimed := false
+		running := 0
+		for _, info := range list.Campaigns {
+			if info.State != StateRunning {
+				continue
+			}
+			running++
+			cl, err := w.claim(ctx, info.ID)
+			if err != nil {
+				w.logf("worker %s: claiming from %s: %v", w.opts.Name, info.ID, err)
+				continue
+			}
+			if cl.Shard == nil {
+				continue // done or wait — nothing grantable right now
+			}
+			claimed = true
+			if err := w.runShard(ctx, info.ID, cl); err != nil {
+				if errors.Is(err, context.Canceled) {
+					return nil
+				}
+				w.logf("worker %s: campaign %s shard %d: %v",
+					w.opts.Name, info.ID, cl.Shard.Index, err)
+			}
+		}
+		if len(list.Campaigns) > 0 && running == 0 {
+			// Every campaign is terminal; the worker's job is done.
+			return nil
+		}
+		if !claimed && !w.sleep(ctx) {
+			return nil
+		}
+	}
+}
+
+// sleep waits one poll interval; false means the context ended.
+func (w *Worker) sleep(ctx context.Context) bool {
+	select {
+	case <-time.After(w.opts.Poll):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// claim requests a shard lease.
+func (w *Worker) claim(ctx context.Context, id string) (ClaimResponse, error) {
+	var resp ClaimResponse
+	err := w.postJSON(ctx, "/api/v1/campaigns/"+id+"/claims", ClaimRequest{Worker: w.opts.Name}, &resp)
+	return resp, err
+}
+
+// runShard executes one claimed shard end to end: run the shard's cases
+// with the claimed Spec (journaling locally), heartbeat under the
+// lease, and upload the journal.
+func (w *Worker) runShard(ctx context.Context, id string, cl ClaimResponse) error {
+	shard := *cl.Shard
+	w.logf("worker %s: campaign %s shard %d claimed (%d cases, %d runs)",
+		w.opts.Name, id, shard.Index, len(shard.Cases), shard.Runs)
+
+	dir, err := os.MkdirTemp("", "fic-shard-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "shard.jsonl")
+	jw, err := journal.Create(path)
+	if err != nil {
+		return err
+	}
+
+	mode, err := inject.ParseMode(cl.Engine)
+	if err != nil {
+		jw.Close()
+		return err
+	}
+
+	// The shard context ends with the lease: a rejected heartbeat
+	// cancels the in-flight campaign promptly instead of wasting work
+	// on a shard another worker now owns.
+	shardCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var completed atomic.Int64
+	hbDone := make(chan struct{})
+	go w.heartbeat(shardCtx, cancel, id, shard.Index, cl.LeaseMs, &completed, hbDone)
+
+	cfg := experiment.Config{
+		Spec: *cl.Spec,
+		Exec: experiment.Exec{
+			Mode:    mode,
+			Workers: w.opts.Workers,
+			Context: shardCtx,
+			Journal: jw,
+			Progress: func(ev journal.ProgressEvent) {
+				completed.Store(int64(ev.Completed - ev.Resumed))
+			},
+		},
+	}
+	switch cl.Kind {
+	case "e1":
+		_, err = experiment.RunE1(cfg)
+	default:
+		_, err = experiment.RunE2(cfg)
+	}
+	cancel(nil)
+	<-hbDone
+	if cerr := jw.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		if errors.Is(context.Cause(shardCtx), ErrLeaseLost) {
+			w.logf("worker %s: campaign %s shard %d lease lost, abandoning", w.opts.Name, id, shard.Index)
+			return nil
+		}
+		return err
+	}
+	return w.upload(ctx, id, shard.Index, path)
+}
+
+// heartbeat renews the shard lease at a third of its duration until the
+// context ends; a rejected heartbeat cancels the shard with
+// ErrLeaseLost.
+func (w *Worker) heartbeat(ctx context.Context, cancel context.CancelCauseFunc, id string, shard int, leaseMs int64, completed *atomic.Int64, done chan<- struct{}) {
+	defer close(done)
+	interval := time.Duration(leaseMs/3) * time.Millisecond
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			req := HeartbeatRequest{Worker: w.opts.Name, CompletedRuns: int(completed.Load())}
+			err := w.postJSON(ctx, fmt.Sprintf("/api/v1/campaigns/%s/shards/%d/heartbeat", id, shard), req, &struct{}{})
+			var he *apiError
+			if errors.As(err, &he) && he.status == http.StatusConflict {
+				cancel(fmt.Errorf("%w: %s", ErrLeaseLost, he.msg))
+				return
+			}
+			// Transient transport errors are tolerated: the next tick
+			// retries well within the lease.
+		}
+	}
+}
+
+// upload sends the completed shard journal. A conflict (the shard was
+// re-leased and completed by another worker after this worker's lease
+// expired) is logged and dropped — the other worker's byte-identical
+// upload already covers the shard.
+func (w *Worker) upload(ctx context.Context, id string, shard int, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/api/v1/campaigns/%s/shards/%d/journal?worker=%s",
+		w.opts.Server, id, shard, w.opts.Name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	var resp CompleteResponse
+	if err := w.do(req, &resp); err != nil {
+		var he *apiError
+		if errors.As(err, &he) && he.status == http.StatusConflict {
+			w.logf("worker %s: campaign %s shard %d: stale completion dropped: %s",
+				w.opts.Name, id, shard, he.msg)
+			return nil
+		}
+		return err
+	}
+	switch {
+	case resp.Duplicate:
+		w.logf("worker %s: campaign %s shard %d was already complete", w.opts.Name, id, shard)
+	default:
+		w.logf("worker %s: campaign %s shard %d uploaded (%d/%d shards done)",
+			w.opts.Name, id, shard, resp.Campaign.DoneShards, resp.Campaign.ShardCount)
+	}
+	return nil
+}
+
+// apiError is a non-2xx API response.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.status, e.msg)
+}
+
+func (w *Worker) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.opts.Server+path, nil)
+	if err != nil {
+		return err
+	}
+	return w.do(req, out)
+}
+
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Server+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.do(req, out)
+}
+
+// do executes a request and decodes the JSON response; non-2xx statuses
+// surface as *apiError carrying the server's ErrorResponse message.
+func (w *Worker) do(req *http.Request, out any) error {
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return &apiError{status: resp.StatusCode, msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

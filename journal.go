@@ -1,6 +1,10 @@
 package easig
 
-import "easig/internal/journal"
+import (
+	"io"
+
+	"easig/internal/journal"
+)
 
 // Campaign observability: re-exports of the internal/journal subsystem
 // that makes the paper's 27 400-run protocol (§3.4: E1's 22 400 runs
@@ -51,3 +55,14 @@ func OpenJournal(path string) (*JournalWriter, error) { return journal.Open(path
 // LoadJournal reads a journal file, tolerating the truncated final
 // line a killed campaign leaves behind.
 func LoadJournal(path string) (*JournalLog, error) { return journal.Load(path) }
+
+// ReadJournal parses journal lines from any reader — the path behind
+// ficd's shard-journal uploads, where the journal arrives as an HTTP
+// body instead of a file.
+func ReadJournal(r io.Reader) (*JournalLog, error) { return journal.Read(r) }
+
+// JournalClaim is one shard-ledger line of a distributed campaign: a
+// lease grant ("claim") or a shard completion ("shard_done"). The ficd
+// service appends these to its per-campaign ledger and replays them on
+// restart to recover the lease board (see SERVICE.md).
+type JournalClaim = journal.Claim
