@@ -1,19 +1,21 @@
 // Command bench is the repository's benchmark ledger: it measures the
 // simulator's per-tick hot path, the snapshot engine, the scaled E1
 // campaign in snapshot and literal modes, the exhaustive E2 fault
-// space in memo vs. snapshot mode, and the parallel scheduler's
-// scaling curve at 1/2/4/8 workers, and writes the results as a JSON
-// ledger (BENCH_PR7.json) so every future change has a perf trajectory
-// to diff against. It doubles as the CI regression gate: the run fails
-// if the per-tick, snapshot or engine-error-run paths allocate, if the
-// memo/prune runner loses its speedup over the plain snapshot engine
-// on the exhaustive grid, if repeated error draws stop hitting the
-// outcome memo, or if the 8-worker exhaustive campaign falls below the
-// core-aware scaling gate.
+// space in memo vs. snapshot mode, the parallel scheduler's scaling
+// curve at 1/2/4/8 workers, and the optimizer's configuration-lattice
+// sweep (calibration plus probe throughput), and writes the results as
+// a JSON ledger (BENCH_PR9.json) so every future change has a perf
+// trajectory to diff against. It doubles as the CI regression gate:
+// the run fails if the per-tick, snapshot or engine-error-run paths
+// allocate, if the memo/prune runner loses its speedup over the plain
+// snapshot engine on the exhaustive grid, if repeated error draws stop
+// hitting the outcome memo, if the 8-worker exhaustive campaign falls
+// below the core-aware scaling gate, or if the lattice sweep emits an
+// empty Pareto front.
 //
 // Usage:
 //
-//	bench                    # write BENCH_PR7.json in the current directory
+//	bench                    # write BENCH_PR9.json in the current directory
 //	bench -out ledger.json   # write elsewhere
 //	bench -observe 40000     # measure at the paper's full window
 //
@@ -35,6 +37,7 @@ import (
 	"easig"
 	"easig/internal/core"
 	"easig/internal/inject"
+	"easig/internal/optimize"
 	"easig/internal/target"
 )
 
@@ -56,7 +59,7 @@ type scalingRow struct {
 	StolenBatches int `json:"stolen_batches"`
 }
 
-// ledger is the BENCH_PR7.json document.
+// ledger is the BENCH_PR9.json document.
 type ledger struct {
 	Schema string `json:"schema"`
 	Go     string `json:"go"`
@@ -121,6 +124,20 @@ type ledger struct {
 	ScalingExhaustiveMemo  []scalingRow `json:"scaling_exhaustive_memo"`
 	ScalingGateRequired    float64      `json:"scaling_gate_required_speedup"`
 	ScalingExhaustive8xVs1 float64      `json:"scaling_exhaustive_8w_speedup"`
+
+	// Optimizer lattice sweep (PR 9): one wall-clock cost calibration
+	// (the measured assertion overheads OPTIMIZER.md's worked example
+	// quotes), then one dual-node probe per (error, case) of the E2
+	// sample, scored into all 768 lattice configurations.
+	OptimizeCalibrationWallMs int64   `json:"optimize_calibration_wall_ms"`
+	OptimizeBaselineNsPerTick float64 `json:"optimize_baseline_ns_per_tick"`
+	OptimizeAllNsPerTick      float64 `json:"optimize_all_ns_per_tick"`
+	OptimizeAdditivityErrPct  float64 `json:"optimize_additivity_err_pct"`
+	OptimizeProbes            int     `json:"optimize_probes"`
+	OptimizeLatticeSize       int     `json:"optimize_lattice_size"`
+	OptimizeSweepWallMs       int64   `json:"optimize_sweep_wall_ms"`
+	OptimizeProbesPerSec      float64 `json:"optimize_probes_per_sec"`
+	OptimizeFrontSize         int     `json:"optimize_front_size"`
 }
 
 func toRow(r testing.BenchmarkResult) row {
@@ -136,7 +153,7 @@ func main() {
 
 func run() error {
 	var (
-		out     = flag.String("out", "BENCH_PR7.json", "ledger output path")
+		out     = flag.String("out", "BENCH_PR9.json", "ledger output path")
 		tables  = flag.String("tables", "", "also render the exhaustive campaign's tables to this file (shared reporter path)")
 		grid    = flag.Int("grid", 1, "campaign test-case grid edge")
 		observe = flag.Int64("observe", 16000, "campaign observation window in ms")
@@ -146,7 +163,7 @@ func run() error {
 
 	tc := easig.TestCase{MassKg: 14000, VelocityMS: 55}
 	led := ledger{
-		Schema:        "easig-bench/3",
+		Schema:        "easig-bench/4",
 		Go:            runtime.Version(),
 		GOARCH:        runtime.GOARCH,
 		Cores:         runtime.NumCPU(),
@@ -387,6 +404,32 @@ func run() error {
 		led.ScalingGateRequired = 4
 	}
 
+	// Optimizer lattice sweep: calibration timed separately from the
+	// probe sweep, since they answer different questions (how expensive
+	// the assertions are vs. how fast the sweep covers the fault space).
+	// The measured model is the one OPTIMIZER.md's worked example quotes.
+	calStart := time.Now()
+	cost, err := optimize.Calibrate(optimize.CalibrateOptions{TestCase: tc, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	led.OptimizeCalibrationWallMs = time.Since(calStart).Milliseconds()
+	led.OptimizeBaselineNsPerTick = cost.BaselineNsPerTick
+	led.OptimizeAllNsPerTick = cost.AllNsPerTick
+	led.OptimizeAdditivityErrPct = cost.AdditivityErrPct()
+	sweepStart := time.Now()
+	orep, err := optimize.Run(optimize.Spec{
+		Errors: optimize.ErrorsE2, Grid: *grid, ObservationMs: *observe, Seed: *seed,
+	}, optimize.Options{Cost: &cost})
+	if err != nil {
+		return err
+	}
+	led.OptimizeSweepWallMs = time.Since(sweepStart).Milliseconds()
+	led.OptimizeProbes = orep.Probes
+	led.OptimizeLatticeSize = orep.LatticeSize
+	led.OptimizeProbesPerSec = orep.Metrics.RunsPerSec
+	led.OptimizeFrontSize = len(orep.Front)
+
 	buf, err := json.MarshalIndent(led, "", "  ")
 	if err != nil {
 		return err
@@ -395,10 +438,11 @@ func run() error {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: tick %.0f ns/op %d allocs/op; engine %.0f runs/s %d allocs/op; E1 speedup %.1fx; exhaustive %.1fx (%.1f%% pruned); repeat memo hit rate %.1f%%; 8w scaling %.2fx on %d cores; wrote %s\n",
+	fmt.Fprintf(os.Stderr, "bench: tick %.0f ns/op %d allocs/op; engine %.0f runs/s %d allocs/op; E1 speedup %.1fx; exhaustive %.1fx (%.1f%% pruned); repeat memo hit rate %.1f%%; 8w scaling %.2fx on %d cores; lattice sweep %d probes at %.0f/s, front %d; wrote %s\n",
 		led.Tick.NsPerOp, led.Tick.AllocsPerOp, led.EngineRunsPerSec, led.EngineErrorRun.AllocsPerOp,
 		led.CampaignSpeedup, led.ExhaustiveSpeedup, 100*led.ExhaustivePruneRate,
-		100*led.MemoRepeatHitRate, led.ScalingExhaustive8xVs1, led.Cores, *out)
+		100*led.MemoRepeatHitRate, led.ScalingExhaustive8xVs1, led.Cores,
+		led.OptimizeProbes, led.OptimizeProbesPerSec, led.OptimizeFrontSize, *out)
 
 	// Regression gates: a heap allocation on the tick path, a snapshot
 	// campaign slower than literal, or a memo/prune runner that lost
@@ -425,6 +469,9 @@ func run() error {
 	if led.ScalingExhaustive8xVs1 < led.ScalingGateRequired {
 		return fmt.Errorf("8-worker exhaustive campaign at %.2fx vs 1 worker, below the core-aware gate of %.2fx on %d cores",
 			led.ScalingExhaustive8xVs1, led.ScalingGateRequired, led.Cores)
+	}
+	if led.OptimizeFrontSize == 0 {
+		return fmt.Errorf("lattice sweep emitted an empty Pareto front")
 	}
 	return nil
 }

@@ -23,11 +23,19 @@
 //	fic -engine literal          # escape hatch: simulate every run from time zero
 //	fic -format json             # render results as the machine-readable export
 //	fic worker -server URL       # attach to a ficd campaign service as a shard worker
+//	fic optimize -errors e1      # sweep the detector configuration lattice (see OPTIMIZER.md)
 //
 // In worker mode fic claims shards of a distributed campaign from a
 // ficd service, executes them with the in-process scheduler under a
 // heartbeat-renewed lease, and uploads the shard journals; see
 // SERVICE.md for the protocol and an operator's quickstart.
+//
+// In optimize mode fic scores every assertion subset x placement x
+// recovery configuration on detection probability, detection latency
+// and measured CPU cost, and prints the Pareto front with a
+// recommended configuration per failure-cost budget. The sweep
+// journals (-journal) and resumes (-resume) like a campaign, with
+// byte-identical reports; see OPTIMIZER.md.
 //
 // Results render through the shared reporter path (-format text|json):
 // the same bytes whether a campaign ran in this process or was merged
@@ -68,6 +76,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
 		if err := runWorker(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "fic:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "optimize" {
+		if err := runOptimize(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "fic:", err)
 			os.Exit(1)
 		}

@@ -180,6 +180,12 @@ func runSeed(campaign int64, caseIdx int) int64 {
 	return int64(x & 0x7FFFFFFFFFFFFFFF)
 }
 
+// RunSeed exposes the campaign seed derivation to other sweeps over the
+// same grid — the optimizer's lattice sweep (internal/optimize) derives
+// its per-probe seeds with it, so an optimizer journal is checkable
+// against the same determinism contract as a campaign journal.
+func RunSeed(campaign int64, caseIdx int) int64 { return runSeed(campaign, caseIdx) }
+
 // gridCase pairs a test case with its GLOBAL grid index; the index, not
 // the position in a shard's case subset, keys journal records and
 // per-run seeds.
@@ -452,7 +458,7 @@ func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, c
 	}
 
 	batches := buildBatches(jobs, mode)
-	queues := partitionQueues(batches, cfg.Workers)
+	queues := PartitionQueues(batches, cfg.Workers)
 	cache := inject.NewProfileCache()
 	var memos map[int]*inject.SharedMemo
 	if mode == inject.ModeMemo {
@@ -488,7 +494,7 @@ func runAll(cfg Config, exp string, mode inject.Mode, jobs []job, resumed int, c
 				}
 			}
 			for ctx.Err() == nil {
-				b, ok, stole := nextBatch(queues, w)
+				b, ok, stole := NextItem(queues, w)
 				if !ok {
 					return
 				}

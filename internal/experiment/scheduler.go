@@ -28,7 +28,7 @@ import (
 // read-only profile. Memoized outcomes cross workers through a
 // per-case inject.SharedMemo, merged at batch barriers.
 //
-// Concurrency contract, structure by structure: workQueue claims are a
+// Concurrency contract, structure by structure: WorkQueue claims are a
 // single CAS on an atomic cursor over an immutable batch slice (no
 // locks, no ABA — the cursor only advances); CaseProfiles are immutable
 // after construction and shared read-only; SharedMemo reads are one
@@ -43,60 +43,65 @@ import (
 // contention, and TestSchedulerWorkerCountEquivalence pins 1-worker vs
 // 8-worker campaigns to byte-identical tables and record sets.
 
-// workQueue is one worker's share of the batch list. take claims the
-// next batch lock-free; the same method is the steal path when another
-// worker calls it.
-type workQueue struct {
-	batches []batch
-	next    atomic.Int64
+// WorkQueue is one worker's share of a work-item list. Take claims the
+// next item lock-free; the same method is the steal path when another
+// worker calls it. The item type is generic because two sweeps share
+// this scheduler: the campaign layer queues version-run batches, and
+// the optimizer's lattice sweep (internal/optimize) queues probe
+// chunks over the same (case × error) grid.
+type WorkQueue[T any] struct {
+	items []T
+	next  atomic.Int64
 }
 
-// take claims the queue's next batch, or reports an empty queue.
-func (q *workQueue) take() (batch, bool) {
+// Take claims the queue's next item, or reports an empty queue.
+func (q *WorkQueue[T]) Take() (T, bool) {
 	for {
 		i := q.next.Load()
-		if i >= int64(len(q.batches)) {
-			return batch{}, false
+		if i >= int64(len(q.items)) {
+			var zero T
+			return zero, false
 		}
 		if q.next.CompareAndSwap(i, i+1) {
-			return q.batches[i], true
+			return q.items[i], true
 		}
 	}
 }
 
-// partitionQueues splits the batch list into near-equal contiguous
-// blocks, one per worker. Contiguity preserves the case-major batch
+// PartitionQueues splits the item list into near-equal contiguous
+// blocks, one per worker. Contiguity preserves the case-major item
 // order inside each queue, which is what makes per-case runner reuse
 // effective.
-func partitionQueues(batches []batch, workers int) []*workQueue {
-	queues := make([]*workQueue, workers)
-	per := len(batches) / workers
-	rem := len(batches) % workers
+func PartitionQueues[T any](items []T, workers int) []*WorkQueue[T] {
+	queues := make([]*WorkQueue[T], workers)
+	per := len(items) / workers
+	rem := len(items) % workers
 	lo := 0
 	for w := 0; w < workers; w++ {
 		n := per
 		if w < rem {
 			n++
 		}
-		queues[w] = &workQueue{batches: batches[lo : lo+n]}
+		queues[w] = &WorkQueue[T]{items: items[lo : lo+n]}
 		lo += n
 	}
 	return queues
 }
 
-// nextBatch serves worker w: its own queue first, then a steal sweep
-// over the other queues. stole reports whether the batch came from
+// NextItem serves worker w: its own queue first, then a steal sweep
+// over the other queues. stole reports whether the item came from
 // another worker's queue.
-func nextBatch(queues []*workQueue, w int) (b batch, ok, stole bool) {
-	if b, ok = queues[w].take(); ok {
-		return b, true, false
+func NextItem[T any](queues []*WorkQueue[T], w int) (item T, ok, stole bool) {
+	if item, ok = queues[w].Take(); ok {
+		return item, true, false
 	}
 	for off := 1; off < len(queues); off++ {
-		if b, ok = queues[(w+off)%len(queues)].take(); ok {
-			return b, true, true
+		if item, ok = queues[(w+off)%len(queues)].Take(); ok {
+			return item, true, true
 		}
 	}
-	return batch{}, false, false
+	var zero T
+	return zero, false, false
 }
 
 // workerRunners is one worker's runner state: the per-case runners it

@@ -17,19 +17,19 @@ func TestPartitionQueuesContiguous(t *testing.T) {
 	for i := range batches {
 		batches[i].caseIdx = i
 	}
-	queues := partitionQueues(batches, 4)
+	queues := PartitionQueues(batches, 4)
 	if len(queues) != 4 {
 		t.Fatalf("got %d queues, want 4", len(queues))
 	}
 	next := 0
 	min, max := len(batches), 0
 	for w, q := range queues {
-		if n := len(q.batches); n < min {
+		if n := len(q.items); n < min {
 			min = n
 		} else if n > max {
 			max = n
 		}
-		for _, b := range q.batches {
+		for _, b := range q.items {
 			if b.caseIdx != next {
 				t.Fatalf("queue %d holds batch %d, want %d (partition not contiguous)", w, b.caseIdx, next)
 			}
@@ -54,17 +54,17 @@ func TestNextBatchSteals(t *testing.T) {
 	}
 	// Worker 1's queue is empty: 3 batches over 2 workers gives worker 0
 	// two, worker 1 one — drain worker 1's own first.
-	queues := partitionQueues(batches, 2)
-	if b, ok, stole := nextBatch(queues, 1); !ok || stole {
+	queues := PartitionQueues(batches, 2)
+	if b, ok, stole := NextItem(queues, 1); !ok || stole {
 		t.Fatalf("own-queue claim: ok=%v stole=%v batch=%d", ok, stole, b.caseIdx)
 	}
 	for i := 0; i < 2; i++ {
-		b, ok, stole := nextBatch(queues, 1)
+		b, ok, stole := NextItem(queues, 1)
 		if !ok || !stole {
 			t.Fatalf("steal %d: ok=%v stole=%v batch=%d", i, ok, stole, b.caseIdx)
 		}
 	}
-	if _, ok, _ := nextBatch(queues, 1); ok {
+	if _, ok, _ := NextItem(queues, 1); ok {
 		t.Fatal("claimed a batch from fully drained queues")
 	}
 }
@@ -78,7 +78,7 @@ func TestWorkQueueConcurrentClaims(t *testing.T) {
 	for i := range batches {
 		batches[i].caseIdx = i
 	}
-	queues := partitionQueues(batches, nWorkers)
+	queues := PartitionQueues(batches, nWorkers)
 	var mu sync.Mutex
 	claims := make(map[int]int, nBatches)
 	var wg sync.WaitGroup
@@ -88,7 +88,7 @@ func TestWorkQueueConcurrentClaims(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				b, ok, _ := nextBatch(queues, w)
+				b, ok, _ := NextItem(queues, w)
 				if !ok {
 					return
 				}

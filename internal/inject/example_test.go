@@ -1,0 +1,45 @@
+package inject_test
+
+import (
+	"fmt"
+
+	"easig/internal/inject"
+	"easig/internal/physics"
+	"easig/internal/target"
+)
+
+// ExampleNewRunner builds a memo-mode runner for one test case and
+// serves one Table 6 error against two version builds in a single
+// call — the unified Runner API every campaign mode sits behind.
+func ExampleNewRunner() {
+	runner, err := inject.NewRunner(inject.ModeMemo, inject.RunConfig{
+		TestCase:      physics.TestCase{MassKg: 14000, VelocityMS: 55},
+		Seed:          12345,
+		ObservationMs: 16000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e := inject.BuildE1()[25] // S26: a bit flip in the IsValue signal word
+	versions := []target.Version{target.VersionEA2, target.VersionAll}
+	out := make([]inject.RunResult, len(versions))
+	if err := runner.RunError(e, versions, out); err != nil {
+		panic(err)
+	}
+	for i, v := range versions {
+		fmt.Printf("%s under %v: detected=%v latency=%dms\n", e.ID, v, out[i].Detected, out[i].LatencyMs)
+	}
+	// Output:
+	// S26 under EA2: detected=true latency=20ms
+	// S26 under All: detected=true latency=20ms
+}
+
+// ExampleBuildExhaustive enumerates the full §3.4 fault space: every
+// (byte, bit) position of application RAM and stack — the error set of
+// the exhaustive census and the optimizer's deepest sweep.
+func ExampleBuildExhaustive() {
+	errs := inject.BuildExhaustive()
+	fmt.Printf("%d positions, first %s, last %s\n", len(errs), errs[0].ID, errs[len(errs)-1].ID)
+	// Output:
+	// 11400 positions, first R0x0100.0, last K0x07ef.7
+}

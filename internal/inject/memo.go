@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"easig/internal/core"
+	"easig/internal/memory"
 	"easig/internal/target"
 )
 
@@ -86,26 +87,31 @@ func (r *MemoRunner) profile() error {
 	return nil
 }
 
-// baseByte returns the snapshot-time value of the byte at addr, or an
-// error for addresses outside every region.
-func (r *MemoRunner) baseByte(addr uint16) (byte, error) {
-	for i, spec := range r.eng.mem.Regions() {
-		if addr >= spec.Base && uint32(addr) < spec.End() {
-			return r.baseM[i][addr-spec.Base], nil
-		}
-	}
-	return 0, fmt.Errorf("inject: memo hash: address 0x%04x outside every region", addr)
+// stateHash hashes err's post-injection state delta against the
+// runner's snapshot; see stateDeltaHash.
+func (r *MemoRunner) stateHash(err Error) (uint64, error) {
+	return stateDeltaHash(r.eng.mem.Regions(), r.baseM, err)
 }
 
-// stateHash is the FNV-1a hash of the post-injection state delta: which
-// byte differs from the case's snapshot, what it now holds, and the
-// mask the periodic schedule keeps toggling. Two errors with equal
-// hashes corrupt the snapshot into the same state and re-corrupt it on
-// the same schedule, so their runs are the same run.
-func (r *MemoRunner) stateHash(err Error) (uint64, error) {
-	base, berr := r.baseByte(err.Addr)
-	if berr != nil {
-		return 0, berr
+// stateDeltaHash is the FNV-1a hash of a post-injection state delta:
+// which byte differs from the case's snapshot (baseM, indexed like
+// regions), what it now holds, and the mask the periodic schedule keeps
+// toggling. Two errors with equal hashes corrupt the snapshot into the
+// same state and re-corrupt it on the same schedule, so their runs are
+// the same run. The MemoRunner and the optimizer's Probe share this
+// memo key.
+func stateDeltaHash(regions []memory.RegionSpec, baseM [][]byte, err Error) (uint64, error) {
+	var base byte
+	found := false
+	for i, spec := range regions {
+		if err.Addr >= spec.Base && uint32(err.Addr) < spec.End() {
+			base = baseM[i][err.Addr-spec.Base]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("inject: memo hash: address 0x%04x outside every region", err.Addr)
 	}
 	mask := byte(1) << err.Bit
 	const (

@@ -71,12 +71,16 @@ type profileEntry struct {
 // reuses the result.
 //
 // Sharing cannot change a campaign's readouts: a profile is a pure
-// function of (test case, injection schedule, seed) — the same
+// function of (test case, injection schedule, seed) — the same §3.4
 // determinism that makes the paper's Tables 7-9 resumable makes it
-// indifferent whether one runner or eight share the computation.
-// TestProfileCacheComputesOnce gates the compute-once contract under
-// concurrent access, and the engine-equivalence suites pin
-// profile-built runners byte-identical to self-computed ones.
+// indifferent whether one runner or eight share the computation (the
+// seed contract in PERFORMANCE.md "The seed contract that makes
+// sharing sound"). TestProfileCacheComputesOnce gates the compute-once
+// contract under concurrent access, and the engine-equivalence suites
+// (TestEngineFromProfileMatchesEngine and
+// TestMemoRunnerFromProfileMatchesEngine, listed under PERFORMANCE.md
+// "The proof obligations, as tests") pin profile-built runners
+// byte-identical to self-computed ones.
 type ProfileCache struct {
 	mu      sync.Mutex
 	entries map[int]*profileEntry
@@ -223,10 +227,12 @@ func NewMemoRunnerFromProfile(p *CaseProfile, shared *SharedMemo) (*MemoRunner, 
 // the memo off the hot path; the cost is that a duplicate draw served
 // on two workers inside the same batch window may be simulated twice,
 // which affects throughput accounting only — identical state deltas
-// produce identical results, so Table 9 and the exhaustive census's
-// measured Pdetect are unchanged. TestSharedMemoCrossRunner gates the
-// cross-runner path: an outcome memoized by one runner must be served
-// identically through another runner sharing the memo.
+// produce identical results, so the §3.4 Table 9 cells and the
+// exhaustive census's measured Pdetect are unchanged (the memo-table
+// soundness argument in PERFORMANCE.md "The memo table").
+// TestSharedMemoCrossRunner gates the cross-runner path: an outcome
+// memoized by one runner must be served identically through another
+// runner sharing the memo.
 type SharedMemo struct {
 	mu sync.Mutex
 	v  atomic.Pointer[map[uint64]memoEntry]

@@ -10,10 +10,20 @@ import (
 // Runner executes the errors of one (test case, injection schedule)
 // and derives the RunResult of every requested software version. It is
 // the single execution contract behind the campaign layer: the literal
-// per-run simulation (the hardware FIC3 protocol), the snapshot
+// per-run simulation (the paper's §3.2 FIC3 protocol — one bit flip at
+// the injection time, re-injected every 20 ms), the snapshot
 // fast-forward Engine, and the memoizing/pruning MemoRunner all
 // implement it, so internal/experiment composes runners instead of
 // branching on flags.
+//
+// The modes are interchangeable by contract, not by convention: every
+// mode must reproduce the §3.4 campaign tables (Tables 7-9) cell for
+// cell. PERFORMANCE.md's "The proof obligations, as tests" section
+// lists the proofs — TestEngineMatchesRun pins snapshot against
+// literal field by field, TestMemoRunnerMatchesEngine adds the pruning
+// and memo layers, and the campaign-level equivalence suites
+// (TestE1EngineEquivalence, TestE2EngineEquivalence) re-verify all
+// modes against each other on every change.
 //
 // len(out) must equal len(versions). Runners are not safe for
 // concurrent use; each campaign worker owns one.
@@ -28,6 +38,15 @@ type Runner interface {
 // (served from the outcome memo, zero simulation). For the literal
 // runner Simulated counts individual version simulations, since each
 // version build is a separate run there.
+//
+// These counters are the observable side of the pruning/memoization
+// claims PERFORMANCE.md makes: the ~96% exhaustive-census prune rate
+// and the memo-vs-snapshot speedup gate in cmd/bench both read
+// RunnerStats, and `fic -metrics` reports them per campaign. Pruned
+// and MemoHits may only ever replace simulations whose outcomes are
+// provably identical (see Liveness's soundness argument and the
+// stateDeltaHash contract) — a prune or memo hit that could change a
+// Table 7-9 cell would be a correctness bug, not a tuning choice.
 type RunnerStats struct {
 	Errors    int
 	Simulated int

@@ -52,6 +52,17 @@ const (
 	// KindShardDone marks a shard-completion line: the shard's journal
 	// has been uploaded and validated, and its lease is retired.
 	KindShardDone = "shard_done"
+	// KindProbe marks one optimizer probe record: the per-node,
+	// per-assertion first-violation profile of one (error, test case)
+	// that `fic optimize` scores every configuration of the lattice
+	// from (see internal/optimize and OPTIMIZER.md).
+	KindProbe = "probe"
+	// KindCost marks the optimizer's journaled CPU cost calibration.
+	// Calibration is a wall-clock measurement and therefore NOT a
+	// deterministic function of the campaign seed; journaling it and
+	// replaying it on resume is what makes `fic optimize -resume`
+	// reproduce the Pareto front byte-identically.
+	KindCost = "cost"
 )
 
 // Header is the campaign identification line written when a campaign
@@ -138,6 +149,71 @@ type Claim struct {
 	Runs int `json:"runs,omitempty"`
 }
 
+// Probe is one optimizer probe record: for one (error, test case) the
+// first-violation time of every executable assertion on each node,
+// under the all-assertions dual-sink probe run (internal/inject.Probe).
+// Unlike a Record — which stores one version build's scalar outcome —
+// a Probe stores the full 2×7 first-detection matrix, from which
+// internal/optimize derives the outcome of all 2^7 assertion subsets ×
+// 3 placements exactly (see OPTIMIZER.md's subset-derivation argument).
+type Probe struct {
+	// Kind is KindProbe.
+	Kind string `json:"kind"`
+	// Experiment names the sweep ("OPT-e1", "OPT-e2", "OPT-exhaustive").
+	Experiment string `json:"experiment"`
+	// ErrIdx is the error's index in the sweep error set.
+	ErrIdx int `json:"err_idx"`
+	// ErrID is the error's campaign identifier (e.g. "S17", "R0x0123.4").
+	ErrID string `json:"err_id,omitempty"`
+	// CaseIdx is the test case's index in the sweep grid.
+	CaseIdx int `json:"case_idx"`
+	// Seed is the derived per-run seed; on resume it must equal the seed
+	// re-derived from the live configuration.
+	Seed int64 `json:"seed"`
+	// Failed reports a violated arrestment constraint during the probe.
+	Failed bool `json:"failed,omitempty"`
+	// FailTickMs is the tick at which the failure latched (valid when
+	// Failed), on the same clock as the first-violation times.
+	FailTickMs int64 `json:"fail_tick_ms,omitempty"`
+	// Master and Slave hold each assertion's first-violation time on
+	// that node, -1 when the assertion never fired (index k = EA k+1).
+	Master []int64 `json:"master_first_ms"`
+	Slave  []int64 `json:"slave_first_ms"`
+}
+
+// ProbeKey locates one probe inside a sweep: probes carry no version
+// coordinate (one probe serves every configuration).
+type ProbeKey struct {
+	ErrIdx, CaseIdx int
+}
+
+// Key returns the probe's sweep coordinates.
+func (p Probe) Key() ProbeKey { return ProbeKey{ErrIdx: p.ErrIdx, CaseIdx: p.CaseIdx} }
+
+// Cost is the optimizer's journaled CPU cost calibration: the per-tick
+// baseline and the marginal per-assertion, per-node overheads the cost
+// model sums (OPTIMIZER.md "The cost model"). It is measured wall-clock
+// once per sweep and replayed verbatim on resume.
+type Cost struct {
+	// Kind is KindCost.
+	Kind string `json:"kind"`
+	// Experiment names the sweep the calibration belongs to.
+	Experiment string `json:"experiment"`
+	// BaselineNs is the per-tick cost of the assertion-free build
+	// (master None, slave None), in nanoseconds.
+	BaselineNs float64 `json:"baseline_ns_per_tick"`
+	// MasterNs[k] / SlaveNs[k] are the marginal per-tick costs of
+	// enabling EA k+1 alone on that node, in nanoseconds.
+	MasterNs []float64 `json:"master_ea_ns_per_tick"`
+	SlaveNs  []float64 `json:"slave_ea_ns_per_tick"`
+	// AllNs is the measured per-tick cost of the All/All build, kept to
+	// validate the cost model's additivity assumption.
+	AllNs float64 `json:"all_ns_per_tick"`
+	// Ticks and Reps record the calibration's measurement parameters.
+	Ticks int `json:"ticks,omitempty"`
+	Reps  int `json:"reps,omitempty"`
+}
+
 // Key locates one run inside a campaign: the coordinates that, together
 // with the campaign seed, determine the run completely.
 type Key struct {
@@ -161,6 +237,10 @@ type Log struct {
 	// Claims lists the shard-claim and shard-done lines of a service
 	// shard ledger, in file order (replay order for lease recovery).
 	Claims []Claim
+	// Probes lists the optimizer probe records of a lattice sweep.
+	Probes []Probe
+	// Costs lists the optimizer cost calibrations (one per sweep start).
+	Costs []Cost
 	// Truncated reports that the final line was incomplete — the
 	// signature of a killed campaign — and was dropped.
 	Truncated bool
@@ -233,6 +313,18 @@ func Read(r io.Reader) (*Log, error) {
 				return nil, fmt.Errorf("line %d: %w", i+1, err)
 			}
 			log.Claims = append(log.Claims, c)
+		case KindProbe:
+			var p Probe
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			log.Probes = append(log.Probes, p)
+		case KindCost:
+			var c Cost
+			if err := json.Unmarshal(line, &c); err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			log.Costs = append(log.Costs, c)
 		default:
 			// Unknown kinds are skipped so old readers survive future
 			// record types.
@@ -249,6 +341,33 @@ func (l *Log) Header(experiment string) (Header, bool) {
 		}
 	}
 	return Header{}, false
+}
+
+// LookupProbes indexes the named experiment's probe records by their
+// coordinates; when a probe appears twice (a journal resumed more than
+// once) the last occurrence wins — re-executions are byte-identical by
+// the determinism contract, matching Lookup's run semantics.
+func (l *Log) LookupProbes(experiment string) map[ProbeKey]Probe {
+	out := make(map[ProbeKey]Probe)
+	for _, p := range l.Probes {
+		if p.Experiment == experiment {
+			out[p.Key()] = p
+		}
+	}
+	return out
+}
+
+// Cost returns the named experiment's first cost calibration. First,
+// not last: the first sweep measured it, every resume replays it, and
+// the front's byte-identity depends on scoring against the original
+// measurement.
+func (l *Log) Cost(experiment string) (Cost, bool) {
+	for _, c := range l.Costs {
+		if c.Experiment == experiment {
+			return c, true
+		}
+	}
+	return Cost{}, false
 }
 
 // Lookup indexes the named experiment's runs by their coordinates; when

@@ -170,6 +170,57 @@ func TestOpenAppends(t *testing.T) {
 	}
 }
 
+// Open must cut a truncated trailing line before appending: otherwise
+// the first appended record fuses with the partial line into a
+// malformed interior line, and the journal — loadable once, right
+// before that first resume — becomes unloadable for every resume after.
+func TestOpenRepairsTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Run(Record{Experiment: "E1", ErrIdx: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill: cut the final line in half.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(Record{Experiment: "E1", ErrIdx: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := Load(path)
+	if err != nil {
+		t.Fatalf("journal unloadable after a resume appended to a truncated file: %v", err)
+	}
+	if log.Truncated {
+		t.Error("repair left a partial line behind")
+	}
+	if len(log.Runs) != 3 {
+		t.Errorf("got %d runs, want 2 surviving + 1 re-appended", len(log.Runs))
+	}
+}
+
 func TestClaimRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ledger.jsonl")
 	w, err := Create(path)

@@ -54,12 +54,60 @@ func Create(path string) (*Writer, error) {
 // Open opens an existing journal at path for appending — the resume
 // path: replayed runs are already on file, and newly executed runs
 // extend it, so a twice-interrupted campaign still resumes cleanly.
+//
+// A truncated trailing line — the signature of a killed run, which Load
+// drops on read — is cut off the file before appending. Without the cut
+// the first appended line would fuse with the partial one into a
+// malformed INTERIOR line, and while the immediate resume (which loaded
+// the journal before appending) would succeed, the file itself would be
+// unloadable ever after: a second resume would fail. The cut discards
+// only bytes Load already ignores.
 func Open(path string) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
+	if err := trimPartialLine(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %s: %w", path, err)
+	}
 	return newWriter(f), nil
+}
+
+// trimPartialLine truncates f after its final newline and seeks to the
+// new end, scanning backwards in chunks so a large journal is not read
+// whole.
+func trimPartialLine(f *os.File) error {
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	end := int64(0) // file offset just past the last '\n'
+	buf := make([]byte, 64*1024)
+	for pos := size; pos > 0 && end == 0; {
+		n := int64(len(buf))
+		if n > pos {
+			n = pos
+		}
+		pos -= n
+		if _, err := f.ReadAt(buf[:n], pos); err != nil {
+			return err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				end = pos + i + 1
+				break
+			}
+		}
+	}
+	if end < size {
+		if err := f.Truncate(end); err != nil {
+			return err
+		}
+	}
+	_, err = f.Seek(end, 0)
+	return err
 }
 
 func newWriter(f *os.File) *Writer {
@@ -149,6 +197,18 @@ func (w *Writer) Header(h Header) error {
 func (w *Writer) Run(r Record) error {
 	r.Kind = KindRun
 	return w.send(r)
+}
+
+// Probe appends one optimizer probe record.
+func (w *Writer) Probe(p Probe) error {
+	p.Kind = KindProbe
+	return w.send(p)
+}
+
+// Cost appends one optimizer cost-calibration line.
+func (w *Writer) Cost(c Cost) error {
+	c.Kind = KindCost
+	return w.send(c)
 }
 
 // Claim appends one shard-claim line (lease grant or renewal) to a

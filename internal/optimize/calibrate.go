@@ -1,0 +1,139 @@
+package optimize
+
+import (
+	"fmt"
+	"time"
+
+	"easig/internal/journal"
+	"easig/internal/physics"
+	"easig/internal/target"
+)
+
+// CalibrateOptions configure the cost-model measurement.
+type CalibrateOptions struct {
+	// TestCase and Seed pick the scenario the builds are timed under
+	// (the cost of an assertion does not depend on the scenario, but
+	// the builds must run a real one).
+	TestCase physics.TestCase
+	Seed     int64
+	// Ticks is the number of 1 ms control cycles per timed repetition
+	// (default 4096). Reps is the number of repetitions; the minimum is
+	// kept, which rejects scheduler noise the way testing.B does
+	// (default 5).
+	Ticks int
+	Reps  int
+}
+
+const (
+	defaultCalTicks = 4096
+	defaultCalReps  = 5
+	calWarmupTicks  = 256
+)
+
+// Calibrate measures the cost model on the running host: it times the
+// per-tick cost of the assertion-free build (master None, slave None),
+// of each single-assertion build on each node ((EAk, None) and
+// (None, EAk)), and of the All/All build, and returns the marginals
+// over the baseline. Measurements are min-of-Reps wall-clock over
+// Ticks control cycles each, after a warm-up.
+//
+// Calibration is the one non-deterministic input of the optimizer —
+// wall-clock timing differs run to run — which is why the sweep
+// journals the resulting model (journal.Cost) and -resume replays the
+// journaled record instead of re-measuring: byte-identical resumed
+// reports require scoring against the original measurement.
+func Calibrate(opt CalibrateOptions) (CostModel, error) {
+	if opt.Ticks <= 0 {
+		opt.Ticks = defaultCalTicks
+	}
+	if opt.Reps <= 0 {
+		opt.Reps = defaultCalReps
+	}
+
+	timeBuild := func(master, slave target.Version) (float64, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < opt.Reps; rep++ {
+			sys, err := target.NewSystem(target.SystemConfig{
+				TestCase:     opt.TestCase,
+				Seed:         opt.Seed,
+				Version:      master,
+				SlaveVersion: slave,
+			})
+			if err != nil {
+				return 0, fmt.Errorf("optimize: calibration build %v/%v: %w", master, slave, err)
+			}
+			sys.RunMs(calWarmupTicks)
+			start := time.Now()
+			sys.RunMs(opt.Ticks)
+			d := time.Since(start)
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		return float64(best.Nanoseconds()) / float64(opt.Ticks), nil
+	}
+
+	var m CostModel
+	m.Ticks = opt.Ticks
+	m.Reps = opt.Reps
+	var err error
+	if m.BaselineNsPerTick, err = timeBuild(target.VersionNone, target.VersionNone); err != nil {
+		return m, err
+	}
+	for k := 0; k < target.NumEAs; k++ {
+		v := target.Version(k + 1)
+		ns, err := timeBuild(v, target.VersionNone)
+		if err != nil {
+			return m, err
+		}
+		m.MasterNsPerTick[k] = marginal(ns, m.BaselineNsPerTick)
+		if ns, err = timeBuild(target.VersionNone, v); err != nil {
+			return m, err
+		}
+		m.SlaveNsPerTick[k] = marginal(ns, m.BaselineNsPerTick)
+	}
+	if m.AllNsPerTick, err = timeBuild(target.VersionAll, target.VersionAll); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// marginal clamps a measured marginal at zero: timing jitter can make
+// an instrumented build measure marginally faster than the baseline,
+// and a negative assertion cost would corrupt the dominance ordering.
+func marginal(ns, baseline float64) float64 {
+	if ns <= baseline {
+		return 0
+	}
+	return ns - baseline
+}
+
+// costRecord converts the model to its journal form.
+func costRecord(experiment string, m CostModel) journal.Cost {
+	return journal.Cost{
+		Experiment: experiment,
+		BaselineNs: m.BaselineNsPerTick,
+		MasterNs:   append([]float64(nil), m.MasterNsPerTick[:]...),
+		SlaveNs:    append([]float64(nil), m.SlaveNsPerTick[:]...),
+		AllNs:      m.AllNsPerTick,
+		Ticks:      m.Ticks,
+		Reps:       m.Reps,
+	}
+}
+
+// costFromRecord rebuilds the model from its journal form.
+func costFromRecord(c journal.Cost) (CostModel, error) {
+	if len(c.MasterNs) != target.NumEAs || len(c.SlaveNs) != target.NumEAs {
+		return CostModel{}, fmt.Errorf("optimize: journaled cost record has %d/%d per-EA entries, want %d",
+			len(c.MasterNs), len(c.SlaveNs), target.NumEAs)
+	}
+	m := CostModel{
+		BaselineNsPerTick: c.BaselineNs,
+		AllNsPerTick:      c.AllNs,
+		Ticks:             c.Ticks,
+		Reps:              c.Reps,
+	}
+	copy(m.MasterNsPerTick[:], c.MasterNs)
+	copy(m.SlaveNsPerTick[:], c.SlaveNs)
+	return m, nil
+}

@@ -1,0 +1,246 @@
+// Package optimize searches the full detector-configuration lattice of
+// the paper's target: every subset of the seven executable assertions
+// (2^7 masks, including the empty one) × assertion placement on the
+// master node, the slave node or both × recovery off/on — 768
+// configurations, where the paper hand-picked eight. Each configuration
+// is scored on measured detection probability, mean first-detection
+// latency and per-tick CPU overhead, and the non-dominated
+// configurations are emitted as a Pareto front with a recommended
+// configuration per failure-cost budget. The approach follows DETOx
+// (Pareto-optimal software error-detector selection under a cost
+// model); OPTIMIZER.md documents the cost model, the dominance rules
+// and the soundness arguments, and EXPERIMENTS.md reports what the
+// sweep finds.
+//
+// The sweep never builds 768 systems: one dual-node all-assertions
+// probe run per (error, test case) records each assertion's first
+// violation per node (inject.Probe), and every configuration's outcome
+// is derived from that matrix exactly — the same projection the
+// fast-forward engine applies per version, generalized to arbitrary
+// subsets. Scoring is therefore O(probes) simulation plus O(lattice ×
+// probes) arithmetic.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"easig/internal/target"
+)
+
+// NodePlacement selects which node(s) run the enabled assertions.
+type NodePlacement int
+
+const (
+	// NodesMaster places the assertions on the master node only — the
+	// paper's configuration: faults are injected into master memory.
+	NodesMaster NodePlacement = iota
+	// NodesSlave places the assertions on the slave node only: it sees
+	// only corruption that propagates over the set-point link.
+	NodesSlave
+	// NodesBoth places the assertions on both nodes.
+	NodesBoth
+)
+
+// String names the placement as reports render it.
+func (n NodePlacement) String() string {
+	switch n {
+	case NodesMaster:
+		return "master"
+	case NodesSlave:
+		return "slave"
+	case NodesBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("NodePlacement(%d)", int(n))
+	}
+}
+
+// MarshalJSON renders the placement name.
+func (n NodePlacement) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + n.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a placement name.
+func (n *NodePlacement) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"master"`:
+		*n = NodesMaster
+	case `"slave"`:
+		*n = NodesSlave
+	case `"both"`:
+		*n = NodesBoth
+	default:
+		return fmt.Errorf("optimize: unknown node placement %s", b)
+	}
+	return nil
+}
+
+// Master reports whether the placement includes the master node.
+func (n NodePlacement) Master() bool { return n != NodesSlave }
+
+// Slave reports whether the placement includes the slave node.
+func (n NodePlacement) Slave() bool { return n != NodesMaster }
+
+// Count is the number of instrumented nodes.
+func (n NodePlacement) Count() int {
+	if n == NodesBoth {
+		return 2
+	}
+	return 1
+}
+
+// nodePlacements lists the lattice's placement axis in canonical order.
+func nodePlacements() []NodePlacement {
+	return []NodePlacement{NodesMaster, NodesSlave, NodesBoth}
+}
+
+// Config is one point of the configuration lattice.
+type Config struct {
+	// Mask enables executable assertions: bit k set enables EA k+1.
+	Mask uint8 `json:"mask"`
+	// Nodes places the enabled assertions.
+	Nodes NodePlacement `json:"nodes"`
+	// Recovery enables the PreviousValue recovery action on violation.
+	// Recovery is exactly neutral on the three Pareto objectives — it
+	// acts only after a first detection and costs nothing per tick (see
+	// OPTIMIZER.md "Recovery invariance") — so it rides the lattice as a
+	// documented tie, deduplicated out of the front.
+	Recovery bool `json:"recovery"`
+}
+
+// Enables reports whether assertion ea (1-based, EA1..EA7) is enabled.
+func (c Config) Enables(ea int) bool { return c.Mask&(1<<(ea-1)) != 0 }
+
+// EAs lists the enabled assertion numbers in ascending order.
+func (c Config) EAs() []int {
+	var out []int
+	for ea := 1; ea <= target.NumEAs; ea++ {
+		if c.Enables(ea) {
+			out = append(out, ea)
+		}
+	}
+	return out
+}
+
+// Size is the number of enabled assertions.
+func (c Config) Size() int {
+	n := 0
+	for ea := 1; ea <= target.NumEAs; ea++ {
+		if c.Enables(ea) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the configuration, e.g. "EA2+EA6@both", "All@master",
+// "none@master+rec".
+func (c Config) String() string {
+	s := ""
+	switch {
+	case c.Mask == 0:
+		s = "none"
+	case c.Size() == target.NumEAs:
+		s = "All"
+	default:
+		for _, ea := range c.EAs() {
+			if s != "" {
+				s += "+"
+			}
+			s += fmt.Sprintf("EA%d", ea)
+		}
+	}
+	s += "@" + c.Nodes.String()
+	if c.Recovery {
+		s += "+rec"
+	}
+	return s
+}
+
+// Lattice enumerates all 2^NumEAs × 3 × 2 configurations in canonical
+// order: mask ascending, then placement, then recovery. The canonical
+// order is the deterministic tie-breaker everywhere — front
+// deduplication and budget recommendations resolve exact ties to the
+// earliest configuration in this order.
+func Lattice() []Config {
+	out := make([]Config, 0, (1<<target.NumEAs)*3*2)
+	for mask := 0; mask < 1<<target.NumEAs; mask++ {
+		for _, nodes := range nodePlacements() {
+			for _, rec := range []bool{false, true} {
+				out = append(out, Config{Mask: uint8(mask), Nodes: nodes, Recovery: rec})
+			}
+		}
+	}
+	return out
+}
+
+// CostModel is the runtime-cost side of the optimizer: the measured
+// per-tick CPU marginals of each assertion on each node, plus the
+// static Table 4 memory metadata. See OPTIMIZER.md "The cost model"
+// for definitions, units and the additivity argument.
+type CostModel struct {
+	// BaselineNsPerTick is the per-tick cost of the assertion-free
+	// build (master None, slave None), in nanoseconds. It is reported
+	// for context; configuration costs are marginals over it.
+	BaselineNsPerTick float64 `json:"baseline_ns_per_tick"`
+	// MasterNsPerTick[k] / SlaveNsPerTick[k] are the marginal per-tick
+	// costs of enabling EA k+1 alone on that node.
+	MasterNsPerTick [target.NumEAs]float64 `json:"master_ea_ns_per_tick"`
+	SlaveNsPerTick  [target.NumEAs]float64 `json:"slave_ea_ns_per_tick"`
+	// AllNsPerTick is the measured cost of the All/All build; comparing
+	// it against the sum of all marginals validates additivity.
+	AllNsPerTick float64 `json:"all_ns_per_tick"`
+	// Ticks and Reps record the calibration measurement parameters.
+	Ticks int `json:"ticks,omitempty"`
+	Reps  int `json:"reps,omitempty"`
+}
+
+// NsPerTick is a configuration's modelled per-tick CPU overhead: the
+// sum of the enabled (node, assertion) marginals. The baseline is NOT
+// included — every configuration runs the control software, so only
+// the assertion overhead differentiates them.
+func (m CostModel) NsPerTick(c Config) float64 {
+	var ns float64
+	for ea := 1; ea <= target.NumEAs; ea++ {
+		if !c.Enables(ea) {
+			continue
+		}
+		if c.Nodes.Master() {
+			ns += m.MasterNsPerTick[ea-1]
+		}
+		if c.Nodes.Slave() {
+			ns += m.SlaveNsPerTick[ea-1]
+		}
+	}
+	return ns
+}
+
+// RAMBytes is a configuration's assertion-state RAM footprint: the s'
+// previous-value word of each enabled assertion on each instrumented
+// node (target.AssertionRAMBytes per assertion per node).
+func (m CostModel) RAMBytes(c Config) int {
+	return target.AssertionRAMBytes * c.Size() * c.Nodes.Count()
+}
+
+// StackBytes is a configuration's assertion stack footprint (zero in
+// this reproduction; see target.AssertionStackBytes).
+func (m CostModel) StackBytes(c Config) int {
+	return target.AssertionStackBytes * c.Size() * c.Nodes.Count()
+}
+
+// AdditivityErrPct quantifies how far the modelled All/All cost
+// (sum of every marginal) sits from the measured All/All build, as a
+// percentage of the measured value. Large values mean the per-EA
+// marginals do not compose and the cost axis should be distrusted.
+func (m CostModel) AdditivityErrPct() float64 {
+	if m.AllNsPerTick <= m.BaselineNsPerTick {
+		return 0
+	}
+	modelled := 0.0
+	for k := 0; k < target.NumEAs; k++ {
+		modelled += m.MasterNsPerTick[k] + m.SlaveNsPerTick[k]
+	}
+	measured := m.AllNsPerTick - m.BaselineNsPerTick
+	return 100 * math.Abs(modelled-measured) / measured
+}

@@ -1,0 +1,341 @@
+package optimize
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"easig/internal/target"
+)
+
+// -update regenerates the golden files from the current implementation.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestLatticeEnumeration(t *testing.T) {
+	l := Lattice()
+	want := (1 << target.NumEAs) * 3 * 2
+	if len(l) != want {
+		t.Fatalf("lattice has %d configurations, want %d", len(l), want)
+	}
+	if l[0] != (Config{Mask: 0, Nodes: NodesMaster, Recovery: false}) {
+		t.Errorf("first lattice point = %+v, want empty mask on master without recovery", l[0])
+	}
+	last := l[len(l)-1]
+	if last.Mask != 127 || last.Nodes != NodesBoth || !last.Recovery {
+		t.Errorf("last lattice point = %+v, want All@both+rec", last)
+	}
+	seen := make(map[Config]bool, len(l))
+	for _, c := range l {
+		if seen[c] {
+			t.Fatalf("duplicate lattice point %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cases := []struct {
+		c    Config
+		want string
+	}{
+		{Config{Mask: 0, Nodes: NodesMaster}, "none@master"},
+		{Config{Mask: 1<<target.NumEAs - 1, Nodes: NodesBoth}, "All@both"},
+		{Config{Mask: 0b0100010, Nodes: NodesSlave, Recovery: true}, "EA2+EA6@slave+rec"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%+v renders %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestNodePlacementJSONRoundTrip(t *testing.T) {
+	for _, n := range nodePlacements() {
+		b, err := json.Marshal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back NodePlacement
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != n {
+			t.Errorf("%v round-trips to %v", n, back)
+		}
+	}
+	var bad NodePlacement
+	if err := json.Unmarshal([]byte(`"mainframe"`), &bad); err == nil {
+		t.Error("unknown placement name unmarshalled without error")
+	}
+}
+
+// tinyOutcome builds a probeOutcome over the first two assertion slots
+// (all other slots never fire).
+func tinyOutcome(m1, m2, s1, s2 int64, failed bool, failTick int64) probeOutcome {
+	o := probeOutcome{failed: failed, failTickMs: failTick}
+	for k := range o.master {
+		o.master[k], o.slave[k] = -1, -1
+	}
+	o.master[0], o.master[1] = m1, m2
+	o.slave[0], o.slave[1] = s1, s2
+	return o
+}
+
+// tinyLattice is the 2-assertion sub-lattice: masks over {EA1, EA2} ×
+// 3 placements × 2 recovery = 24 configurations, in canonical order.
+func tinyLattice() []Config {
+	var out []Config
+	for mask := 0; mask < 4; mask++ {
+		for _, nodes := range nodePlacements() {
+			for _, rec := range []bool{false, true} {
+				out = append(out, Config{Mask: uint8(mask), Nodes: nodes, Recovery: rec})
+			}
+		}
+	}
+	return out
+}
+
+func tinyCost() CostModel {
+	m := CostModel{BaselineNsPerTick: 100, AllNsPerTick: 180}
+	m.MasterNsPerTick[0], m.MasterNsPerTick[1] = 10, 20
+	m.SlaveNsPerTick[0], m.SlaveNsPerTick[1] = 15, 5
+	return m
+}
+
+// The golden-front test: a hand-checkable 2-assertion lattice over
+// three probes must produce exactly the expected Pareto front
+// (testdata/tiny_front.golden.json; regenerate with -update). The
+// expected members, by hand:
+//
+//	none@master       0%  detected,         0 ns/tick (cheapest point)
+//	EA2@slave       33.3%, 60 ms latency,   5 ns/tick
+//	EA1@master      33.3%, 10 ms latency,  10 ns/tick
+//	EA2@master      66.7%, 35 ms latency,  20 ns/tick
+//	EA1+EA2@master  66.7%, 15 ms latency,  30 ns/tick
+//
+// with every member carrying its +rec twin as an exact-tie equivalent
+// (none@master additionally ties the other placements of the empty
+// mask).
+func TestGoldenTinyFront(t *testing.T) {
+	outcomes := []probeOutcome{
+		tinyOutcome(10, 50, 30, -1, true, 40),
+		tinyOutcome(-1, 20, -1, 60, false, 0),
+		tinyOutcome(-1, -1, -1, -1, true, 100),
+	}
+	scores := scoreAll(tinyLattice(), outcomes, tinyCost())
+	markPareto(scores)
+	front := Front(scores)
+
+	names := make([]string, len(front))
+	for i, m := range front {
+		names[i] = m.Score.Name
+	}
+	wantNames := []string{"none@master", "EA2@slave", "EA1@master", "EA2@master", "EA1+EA2@master"}
+	if len(names) != len(wantNames) {
+		t.Fatalf("front = %v, want %v", names, wantNames)
+	}
+	for i := range wantNames {
+		if names[i] != wantNames[i] {
+			t.Fatalf("front = %v, want %v", names, wantNames)
+		}
+	}
+
+	got, err := json.MarshalIndent(front, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "tiny_front.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with go test -run GoldenTinyFront -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("front deviates from golden file %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// randomOutcomes draws deterministic pseudo-random probe outcomes: each
+// (node, EA) slot fires with probability p at a random time, and a
+// third of the probes fail.
+func randomOutcomes(rng *rand.Rand, n int, p float64) []probeOutcome {
+	out := make([]probeOutcome, n)
+	for i := range out {
+		o := &out[i]
+		for k := 0; k < target.NumEAs; k++ {
+			o.master[k], o.slave[k] = -1, -1
+			if rng.Float64() < p {
+				o.master[k] = int64(rng.Intn(4000))
+			}
+			if rng.Float64() < p {
+				o.slave[k] = int64(rng.Intn(4000))
+			}
+		}
+		if rng.Intn(3) == 0 {
+			o.failed = true
+			o.failTickMs = int64(1000 + rng.Intn(3000))
+		}
+	}
+	return out
+}
+
+// The Pareto property, over the full 768-point lattice with randomized
+// outcomes and costs: no emitted front member is dominated by ANY
+// score, and every configuration left off the front is either strictly
+// dominated or an exact objective tie of an earlier (canonical) one.
+func TestFrontParetoProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		outcomes := randomOutcomes(rng, 40, 0.15+0.1*float64(trial))
+		var cost CostModel
+		cost.BaselineNsPerTick = 100
+		for k := 0; k < target.NumEAs; k++ {
+			cost.MasterNsPerTick[k] = float64(rng.Intn(50))
+			cost.SlaveNsPerTick[k] = float64(rng.Intn(50))
+		}
+		scores := scoreAll(Lattice(), outcomes, cost)
+		markPareto(scores)
+		front := Front(scores)
+		if len(front) == 0 {
+			t.Fatalf("trial %d: empty front", trial)
+		}
+		inFront := make(map[string]bool)
+		for _, m := range front {
+			inFront[m.Score.Name] = true
+		}
+		for i := range scores {
+			s := &scores[i]
+			if s.Pareto != inFront[s.Name] {
+				t.Fatalf("trial %d: %s Pareto flag %v but front membership %v", trial, s.Name, s.Pareto, inFront[s.Name])
+			}
+			dominated := false
+			tiedEarlier := false
+			for j := range scores {
+				if j == i {
+					continue
+				}
+				if dominates(&scores[j], s) {
+					dominated = true
+				}
+				if j < i && sameObjectives(&scores[j], s) {
+					tiedEarlier = true
+				}
+			}
+			if s.Pareto && dominated {
+				t.Errorf("trial %d: front member %s is dominated", trial, s.Name)
+			}
+			if !s.Pareto && !dominated && !tiedEarlier {
+				t.Errorf("trial %d: %s is neither on the front, nor dominated, nor a tie of an earlier member", trial, s.Name)
+			}
+		}
+	}
+}
+
+// Recovery is metric-neutral by construction: each configuration's
+// recovery twin must score identically on every objective and tie it
+// off the front.
+func TestRecoveryAxisIsTied(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	outcomes := randomOutcomes(rng, 30, 0.3)
+	scores := scoreAll(Lattice(), outcomes, tinyCost())
+	markPareto(scores)
+	byConfig := make(map[Config]*Score, len(scores))
+	for i := range scores {
+		byConfig[scores[i].Config] = &scores[i]
+	}
+	for i := range scores {
+		s := &scores[i]
+		if s.Config.Recovery {
+			continue
+		}
+		twinCfg := s.Config
+		twinCfg.Recovery = true
+		twin := byConfig[twinCfg]
+		if twin == nil {
+			t.Fatalf("no recovery twin for %s", s.Name)
+		}
+		if !sameObjectives(s, twin) {
+			t.Errorf("%s and %s disagree on objectives", s.Name, twin.Name)
+		}
+		if twin.Pareto {
+			t.Errorf("recovery twin %s on the front; the canonical (non-recovery) member should hold the mark", twin.Name)
+		}
+	}
+}
+
+func TestLatencySentinel(t *testing.T) {
+	s := &Score{Detected: 0, MeanLatencyMs: -1}
+	if !math.IsInf(s.latency(), 1) {
+		t.Error("undetected configuration should order with +Inf latency")
+	}
+	s2 := &Score{Detected: 1, MeanLatencyMs: 25}
+	if !dominates(&Score{Detected: 1, MeanLatencyMs: 20, DetectionPct: s2.DetectionPct}, s2) {
+		t.Error("lower finite latency should dominate at equal detection and cost")
+	}
+}
+
+func TestRecommendBudgetMonotone(t *testing.T) {
+	outcomes := []probeOutcome{
+		tinyOutcome(10, -1, -1, -1, true, 40), // EA1@master averts this failure
+		tinyOutcome(-1, -1, -1, -1, true, 100),
+	}
+	scores := scoreAll(tinyLattice(), outcomes, tinyCost())
+	markPareto(scores)
+	recs := Recommend(scores, 4000, []time.Duration{0, time.Second})
+	if len(recs) != 2 {
+		t.Fatalf("got %d recommendations, want 2", len(recs))
+	}
+	if recs[0].Config != "none@master" {
+		t.Errorf("free failures should recommend the zero-cost configuration, got %s", recs[0].Config)
+	}
+	if recs[1].Config != "EA1@master" {
+		t.Errorf("1 s failure cost should buy EA1@master (the only averting detector), got %s", recs[1].Config)
+	}
+	if recs[1].UtilityNs <= recs[0].UtilityNs {
+		t.Errorf("utility at a higher failure cost should exceed the free-failure utility (%f vs %f)",
+			recs[1].UtilityNs, recs[0].UtilityNs)
+	}
+}
+
+func TestCostModelAdditivityErr(t *testing.T) {
+	m := tinyCost()
+	// Marginals sum to 50; measured All - baseline = 80 → 37.5% error.
+	if got := m.AdditivityErrPct(); math.Abs(got-37.5) > 1e-9 {
+		t.Errorf("additivity error = %v%%, want 37.5%%", got)
+	}
+	m.AllNsPerTick = 150 // marginals sum exactly
+	if got := m.AdditivityErrPct(); got != 0 {
+		t.Errorf("exactly additive model reports %v%% error", got)
+	}
+}
+
+func TestCostRecordRoundTrip(t *testing.T) {
+	m := tinyCost()
+	m.Ticks, m.Reps = 1024, 3
+	back, err := costFromRecord(costRecord("OPT-e1", m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Errorf("cost model round-trips to %+v, want %+v", back, m)
+	}
+	bad := costRecord("OPT-e1", m)
+	bad.MasterNs = bad.MasterNs[:3]
+	if _, err := costFromRecord(bad); err == nil {
+		t.Error("truncated cost record accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"easig/internal/journal"
+	"easig/internal/target"
+)
+
+// probeOutcome is one probe's first-violation matrix in scoring form:
+// Master[k]/Slave[k] are the first violation time of EA k+1 on that
+// node in milliseconds, -1 if it never fires inside the observation
+// window; Failed/FailTickMs describe the unrecovered system-failure
+// outcome (journal.Probe carries the same fields on disk).
+type probeOutcome struct {
+	master     [target.NumEAs]int64
+	slave      [target.NumEAs]int64
+	failed     bool
+	failTickMs int64
+}
+
+func outcomeFromProbe(p journal.Probe) probeOutcome {
+	var o probeOutcome
+	copy(o.master[:], p.Master)
+	copy(o.slave[:], p.Slave)
+	o.failed = p.Failed
+	o.failTickMs = p.FailTickMs
+	return o
+}
+
+// firstDetection is the configuration's first detection time for one
+// probe: the minimum first-violation time over the enabled (node,
+// assertion) slots, or -1 if none fires. This is the subset projection
+// OPTIMIZER.md's soundness section argues exact: the all-assertions
+// probe run records every assertion's first violation independently,
+// so any subset's first detection is the min over its members — the
+// same derivation the fast-forward engine applies per version build,
+// generalized from the eight named versions to all 128 masks.
+func (o *probeOutcome) firstDetection(c Config) int64 {
+	first := int64(-1)
+	take := func(t int64) {
+		if t >= 0 && (first < 0 || t < first) {
+			first = t
+		}
+	}
+	for k := 0; k < target.NumEAs; k++ {
+		if c.Mask&(1<<k) == 0 {
+			continue
+		}
+		if c.Nodes.Master() {
+			take(o.master[k])
+		}
+		if c.Nodes.Slave() {
+			take(o.slave[k])
+		}
+	}
+	return first
+}
+
+// Score is one configuration's measured standing on the sweep.
+type Score struct {
+	Config Config `json:"config"`
+	// Name is Config.String(), precomputed for reports.
+	Name string `json:"name"`
+
+	// Probes is the number of (error, test case) probes scored;
+	// Detected of them had at least one enabled assertion fire.
+	Probes   int `json:"probes"`
+	Detected int `json:"detected"`
+	// DetectionPct is 100·Detected/Probes — the configuration's
+	// measured detection probability over the swept error set.
+	DetectionPct float64 `json:"detection_pct"`
+	// MeanLatencyMs is the mean first-detection latency over the
+	// detected probes, in milliseconds; -1 when nothing was detected.
+	// (Internally an undetectable configuration scores +Inf latency so
+	// that dominance comparisons order it worst; the -1 is the JSON
+	// rendering of that sentinel.)
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+
+	// Failing counts probes whose error led to an unrecovered system
+	// failure; AvertedFailing counts those the configuration detected
+	// strictly before the failure tick — the window in which a failover
+	// could act. AvertedFailPct is 100·AvertedFailing/Failing (100 when
+	// nothing failed: there was nothing to avert).
+	Failing        int     `json:"failing"`
+	AvertedFailing int     `json:"averted_failing"`
+	AvertedFailPct float64 `json:"averted_fail_pct"`
+
+	// CPUNsPerTick is the cost model's per-tick assertion overhead;
+	// RAMBytes/StackBytes the Table 4 memory footprint.
+	CPUNsPerTick float64 `json:"cpu_ns_per_tick"`
+	RAMBytes     int     `json:"ram_bytes"`
+	StackBytes   int     `json:"stack_bytes"`
+
+	// Pareto marks membership of the emitted front (set by markPareto).
+	Pareto bool `json:"pareto"`
+
+	latencySum int64
+}
+
+// latency is the dominance-ordering view of MeanLatencyMs: +Inf for
+// configurations that detected nothing, so "never detects" compares
+// worse than any finite latency instead of better.
+func (s *Score) latency() float64 {
+	if s.Detected == 0 {
+		return math.Inf(1)
+	}
+	return s.MeanLatencyMs
+}
+
+// dominates reports strict Pareto dominance: a is no worse than b on
+// every objective (detection probability up, mean latency down,
+// per-tick CPU down) and strictly better on at least one.
+func dominates(a, b *Score) bool {
+	if a.DetectionPct < b.DetectionPct || a.latency() > b.latency() || a.CPUNsPerTick > b.CPUNsPerTick {
+		return false
+	}
+	return a.DetectionPct > b.DetectionPct || a.latency() < b.latency() || a.CPUNsPerTick < b.CPUNsPerTick
+}
+
+// sameObjectives reports an exact tie on all three objectives.
+func sameObjectives(a, b *Score) bool {
+	la, lb := a.latency(), b.latency()
+	return a.DetectionPct == b.DetectionPct &&
+		(la == lb || (math.IsInf(la, 1) && math.IsInf(lb, 1))) &&
+		a.CPUNsPerTick == b.CPUNsPerTick
+}
+
+// scoreAll scores every lattice configuration against the probe
+// outcomes in one pass over the probes. Scores are returned in
+// canonical lattice order. The recovery axis is metric-neutral (see
+// Config.Recovery), so the 384 distinct (mask, placement) combinations
+// are accumulated once each and the recovery twin copies the result.
+func scoreAll(lattice []Config, outcomes []probeOutcome, cost CostModel) []Score {
+	scores := make([]Score, len(lattice))
+	type key struct {
+		mask  uint8
+		nodes NodePlacement
+	}
+	done := make(map[key]int, len(lattice)/2)
+	for i, c := range lattice {
+		s := &scores[i]
+		s.Config = c
+		s.Name = c.String()
+		s.CPUNsPerTick = cost.NsPerTick(c)
+		s.RAMBytes = cost.RAMBytes(c)
+		s.StackBytes = cost.StackBytes(c)
+		if j, ok := done[key{c.Mask, c.Nodes}]; ok {
+			t := &scores[j]
+			s.Probes, s.Detected, s.DetectionPct = t.Probes, t.Detected, t.DetectionPct
+			s.MeanLatencyMs, s.latencySum = t.MeanLatencyMs, t.latencySum
+			s.Failing, s.AvertedFailing, s.AvertedFailPct = t.Failing, t.AvertedFailing, t.AvertedFailPct
+			continue
+		}
+		done[key{c.Mask, c.Nodes}] = i
+		for pi := range outcomes {
+			o := &outcomes[pi]
+			s.Probes++
+			first := o.firstDetection(c)
+			if first >= 0 {
+				s.Detected++
+				s.latencySum += first
+			}
+			if o.failed {
+				s.Failing++
+				if first >= 0 && first < o.failTickMs {
+					s.AvertedFailing++
+				}
+			}
+		}
+		finalizeScore(s)
+	}
+	return scores
+}
+
+func finalizeScore(s *Score) {
+	if s.Probes > 0 {
+		s.DetectionPct = 100 * float64(s.Detected) / float64(s.Probes)
+	}
+	if s.Detected > 0 {
+		s.MeanLatencyMs = float64(s.latencySum) / float64(s.Detected)
+	} else {
+		s.MeanLatencyMs = -1
+	}
+	if s.Failing > 0 {
+		s.AvertedFailPct = 100 * float64(s.AvertedFailing) / float64(s.Failing)
+	} else {
+		s.AvertedFailPct = 100
+	}
+}
+
+// markPareto sets Pareto on every score not strictly dominated by any
+// other. Exact objective ties are resolved to one canonical member —
+// the earliest in lattice order — so the front names each distinct
+// operating point once (the recovery twins and any
+// detection-equivalent masks collapse; Front lists the equivalents).
+func markPareto(scores []Score) {
+	for i := range scores {
+		s := &scores[i]
+		s.Pareto = true
+		for j := range scores {
+			if i == j {
+				continue
+			}
+			if dominates(&scores[j], s) {
+				s.Pareto = false
+				break
+			}
+			// Tie: only the earliest member in lattice order keeps the
+			// mark.
+			if j < i && sameObjectives(&scores[j], s) {
+				s.Pareto = false
+				break
+			}
+		}
+	}
+}
+
+// FrontMember is one operating point of the Pareto front plus the
+// configurations that tie it exactly on all objectives.
+type FrontMember struct {
+	Score      Score    `json:"score"`
+	Equivalent []string `json:"equivalent,omitempty"`
+}
+
+// Front extracts the Pareto-marked scores, each with its exact-tie
+// equivalents, sorted by per-tick CPU cost ascending (cheapest
+// operating point first; ties stay in lattice order via stable sort).
+func Front(scores []Score) []FrontMember {
+	var front []FrontMember
+	for i := range scores {
+		if !scores[i].Pareto {
+			continue
+		}
+		m := FrontMember{Score: scores[i]}
+		for j := range scores {
+			if j != i && sameObjectives(&scores[j], &scores[i]) {
+				m.Equivalent = append(m.Equivalent, scores[j].Name)
+			}
+		}
+		front = append(front, m)
+	}
+	sort.SliceStable(front, func(i, j int) bool {
+		return front[i].Score.CPUNsPerTick < front[j].Score.CPUNsPerTick
+	})
+	return front
+}
+
+// Recommendation is the utility-optimal configuration for one failure
+// cost.
+type Recommendation struct {
+	// FailureCost is the budget knob: the cost, in CPU-time terms
+	// (nanoseconds), of one unaverted system failure. Zero means
+	// failures are free and the recommendation minimizes pure CPU
+	// overhead; large values buy coverage.
+	FailureCost time.Duration `json:"failure_cost"`
+	Config      string        `json:"config"`
+	// UtilityNs is the expected total cost over the observation window:
+	// CPUNsPerTick × ticks + FailureCost × P(unaverted failure).
+	UtilityNs float64 `json:"utility_ns"`
+}
+
+// Recommend picks, for each failure-cost budget, the configuration
+// minimizing expected total cost over an obsTicks-tick window:
+//
+//	U(c; C_fail) = CPUNsPerTick(c) × obsTicks
+//	             + C_fail × P(probe fails AND c does not avert it)
+//
+// where P is estimated from the sweep's probe outcomes. Ties resolve
+// to the earliest configuration in lattice order. Only Pareto-front
+// canonical members need be considered — any dominated or tied
+// configuration has utility ≥ some front member's for every C_fail —
+// but Recommend scans all scores and relies on lattice order for the
+// tie, which yields the same canonical answer.
+func Recommend(scores []Score, obsTicks int64, budgets []time.Duration) []Recommendation {
+	recs := make([]Recommendation, 0, len(budgets))
+	for _, b := range budgets {
+		best := -1
+		bestU := math.Inf(1)
+		for i := range scores {
+			s := &scores[i]
+			if s.Probes == 0 {
+				continue
+			}
+			pUnaverted := float64(s.Failing-s.AvertedFailing) / float64(s.Probes)
+			u := s.CPUNsPerTick*float64(obsTicks) + float64(b.Nanoseconds())*pUnaverted
+			if u < bestU {
+				bestU = u
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		recs = append(recs, Recommendation{FailureCost: b, Config: scores[best].Name, UtilityNs: bestU})
+	}
+	return recs
+}

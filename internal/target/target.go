@@ -55,6 +55,22 @@ const (
 	StackSize = 1008
 )
 
+// Per-assertion memory cost of the Table 4 instrumentation, per node —
+// the RAM/stack terms of the optimizer's cost model (OPTIMIZER.md).
+const (
+	// AssertionRAMBytes is the application-RAM footprint of one enabled
+	// executable assertion: its previous-value word s' (see addrPrevBase
+	// in the RAM layout — one 2-byte word per assertion per node).
+	AssertionRAMBytes = 2
+	// AssertionStackBytes is the stack footprint of one enabled
+	// executable assertion. The Table 4 checks run inline in the monitor
+	// tick with no per-assertion locals spilled to the stack region in
+	// this reproduction, so the footprint is zero; the constant exists
+	// so the cost model states that explicitly rather than omitting the
+	// term.
+	AssertionStackBytes = 0
+)
+
 // RAM layout (all words, big-endian).
 const (
 	addrSignals   = RAMBase                    // 7 monitored signal words
