@@ -1,19 +1,31 @@
-// Command sigmon applies executable assertions to CSV signal traces.
+// Command sigmon applies executable assertions to signal traces — as a
+// local checker, a calibrator, or a load-generating client of the
+// sigmond streaming service.
 //
 // In -check mode it instantiates a monitor from command-line
 // parameters and reports every violation in the named trace column. In
 // -calibrate mode it derives a parameter-set proposal from the trace
 // (the core.Calibrator workflow), printing a ready-to-use constraint
-// specification.
+// specification. In -replay mode it generates nominal plant traces
+// (optionally perturbed by injected bit flips), streams them to a
+// sigmond server as wire-format sample batches, and with -verify
+// checks the service's detections byte-for-byte against an inline
+// reference observer fed the identical bytes — the observer-
+// equivalence test of SIGMOND.md.
 //
 // Usage:
 //
 //	sigmon -check -signal IsValue -class Co/Ra -min 0 -max 1740 \
 //	       -rmax-incr 90 -rmax-decr 90 < trace.csv
 //	sigmon -calibrate -signal pulscnt -margin 0.1 < trace.csv
+//	sigmon -replay -server http://localhost:7071 -streams 64 \
+//	       -ticks 5000 -faults -verify
 //
 // Trace CSV format: header "t_ms,<name>,...", one row per sample (the
 // format written by arrest -csv).
+//
+// Exit code 2 means assertions fired: -check found violations, or
+// -verify found the observers diverging.
 package main
 
 import (
@@ -43,6 +55,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	var (
 		check     = fs.Bool("check", false, "run assertions over the trace")
 		calibrate = fs.Bool("calibrate", false, "propose parameters from the trace")
+		replay    = fs.Bool("replay", false, "stream generated traces to a sigmond server")
+		server    = fs.String("server", "", "sigmond base URL (replay mode)")
+		streams   = fs.Int("streams", 8, "concurrent plant streams to simulate (replay mode)")
+		ticks     = fs.Int("ticks", 2000, "trace length in ms per stream (replay mode)")
+		batch     = fs.Int("batch", 256, "records per wire batch / HTTP request (replay mode)")
+		faults    = fs.Bool("faults", false, "inject bit-flip data errors into odd streams (replay mode)")
+		verify    = fs.Bool("verify", false, "diff service detections against an inline observer (replay mode)")
+		seed      = fs.Int64("seed", 0, "base trace seed (replay mode)")
 		signal    = fs.String("signal", "", "trace column to monitor")
 		classF    = fs.String("class", "Co/Ra", "signal class (Table 4 notation)")
 		minF      = fs.Int64("min", 0, "smin")
@@ -58,8 +78,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		return 0, err
 	}
 
+	if *replay {
+		if *check || *calibrate {
+			return 0, fmt.Errorf("-replay excludes -check and -calibrate")
+		}
+		return runReplay(replayOpts{
+			server:  *server,
+			streams: *streams,
+			ticks:   *ticks,
+			batch:   *batch,
+			faults:  *faults,
+			verify:  *verify,
+			seed:    *seed,
+		}, stdout)
+	}
 	if *check == *calibrate {
-		return 0, fmt.Errorf("pass exactly one of -check or -calibrate")
+		return 0, fmt.Errorf("pass exactly one of -check, -calibrate or -replay")
 	}
 	if *signal == "" {
 		return 0, fmt.Errorf("-signal is required")

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"easig/internal/stream"
+)
+
+// replayEndToEnd drives -replay against a real in-process sigmond
+// service over HTTP.
+func replayEndToEnd(t *testing.T, shards int, extra ...string) (int, string) {
+	t.Helper()
+	svc, err := stream.New(stream.Config{Shards: shards, MaxStreams: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	args := append([]string{
+		"-replay", "-server", srv.URL,
+		"-streams", "6", "-ticks", "800", "-batch", "97",
+	}, extra...)
+	var out strings.Builder
+	code, err := run(args, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("replay failed: %v\noutput:\n%s", err, out.String())
+	}
+	return code, out.String()
+}
+
+func TestReplayVerifyNominal(t *testing.T) {
+	code, out := replayEndToEnd(t, 2, "-verify")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "verify: OK: 0 detection lines") {
+		t.Errorf("nominal replay should verify clean:\n%s", out)
+	}
+}
+
+func TestReplayVerifyWithFaults(t *testing.T) {
+	code, out := replayEndToEnd(t, 4, "-faults", "-verify")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "verify: OK") || strings.Contains(out, " 0 detection lines") {
+		t.Errorf("faulty replay should verify with detections:\n%s", out)
+	}
+}
+
+func TestReplayFlagValidation(t *testing.T) {
+	if _, err := run([]string{"-replay"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("-replay without -server accepted")
+	}
+	if _, err := run([]string{"-replay", "-check", "-server", "x"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("-replay with -check accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestFlagValidation(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	cases := [][]string{
+		{"-policy", "bogus"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		fs := flag.NewFlagSet("sigmond", flag.ContinueOnError)
+		fs.SetOutput(devnull)
+		if err := run(fs, args, devnull); err == nil {
+			t.Errorf("args %q accepted", args)
+		}
+	}
+}
+
+// TestServeAndInterrupt boots the real binary path: listen on an
+// ephemeral port, answer /healthz, then drain cleanly on SIGINT — the
+// lifecycle the CI smoke job scripts against.
+func TestServeAndInterrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	bin := t.TempDir() + "/sigmond"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building sigmond: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-shards", "2")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first log line carries the bound address.
+	buf := make([]byte, 4096)
+	n, err := stderr.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := string(buf[:n])
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("no listen line in %q", line)
+	}
+	addr := strings.Fields(line[i+len(marker):])[0]
+
+	var resp *http.Response
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("healthz never came up: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sigmond exited uncleanly on SIGINT: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("sigmond did not drain within 15s of SIGINT")
+	}
+}

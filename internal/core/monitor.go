@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // PrevStore abstracts where a monitor keeps the previous accepted
@@ -33,7 +34,23 @@ func (s *fieldStore) StorePrev(v int64) { s.v = v }
 // RecoveryPolicy.
 //
 // Monitor is not safe for concurrent use; in the target system each
-// monitor is owned by the module at its test location (paper Table 4).
+// monitor is owned by the module at its test location (paper Table 4),
+// and in the stream service each monitor is owned by its stream's
+// shard goroutine. The one concession to observers: the test and
+// violation counters are maintained atomically, so Tests, Violations
+// and Suite.Stats may be read concurrently while a single driving
+// goroutine calls Test (the stream service's metrics endpoint reads
+// them live).
+//
+// Reuse contract (the stream service recycles monitor instances across
+// reconnecting streams): Reset clears the previous-value state s' and
+// the primed flag — the next observation is tested like a first one
+// (bounds/domain only) — but deliberately keeps the active mode and
+// the lifetime test/violation counters, so accounting spans sessions.
+// SetMode keeps s': the first test after a mode switch checks the
+// transition into the new mode against the new parameter set. Prime
+// seeds s' without testing, for a session whose initial value is
+// established out-of-band.
 type Monitor struct {
 	name  string
 	class Class
@@ -47,6 +64,8 @@ type Monitor struct {
 	recovery RecoveryPolicy
 	sink     DetectionSink
 
+	// tests and violations are read via atomic loads by concurrent
+	// stats readers; only the driving goroutine writes them.
 	tests      uint64
 	violations uint64
 
@@ -174,11 +193,13 @@ func (m *Monitor) Class() Class { return m.class }
 // Mode returns the currently active signal mode.
 func (m *Monitor) Mode() int { return m.mode }
 
-// Tests returns the number of Test calls since construction.
-func (m *Monitor) Tests() uint64 { return m.tests }
+// Tests returns the number of Test calls since construction. It is
+// safe to call concurrently with the driving goroutine's Test calls.
+func (m *Monitor) Tests() uint64 { return atomic.LoadUint64(&m.tests) }
 
-// Violations returns the number of failed tests since construction.
-func (m *Monitor) Violations() uint64 { return m.violations }
+// Violations returns the number of failed tests since construction. It
+// is safe to call concurrently with the driving goroutine's Test calls.
+func (m *Monitor) Violations() uint64 { return atomic.LoadUint64(&m.violations) }
 
 // SetMode switches the active parameter set ("a signal with several
 // modes has one parameter set for each mode", paper §2.1). Switching
@@ -223,7 +244,7 @@ func (m *Monitor) Prime(s int64) {
 // that are independent of s' run (bounds for continuous signals, domain
 // membership for discrete ones).
 func (m *Monitor) Test(now, s int64) (int64, *Violation) {
-	m.tests++
+	atomic.AddUint64(&m.tests, 1)
 	prev := m.prev.LoadPrev()
 	var (
 		id TestID
@@ -250,7 +271,7 @@ func (m *Monitor) Test(now, s int64) (int64, *Violation) {
 		return s, nil
 	}
 
-	m.violations++
+	atomic.AddUint64(&m.violations, 1)
 	m.scratch = Violation{
 		Signal:  m.name,
 		Test:    id,

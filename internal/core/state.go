@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // MonitorState is a value-type checkpoint of a Monitor's mutable state.
 // The previous accepted value s' is deliberately absent: in the
 // experiment target it lives in the node's injectable RAM (WithPrevStore
@@ -23,8 +25,8 @@ func (m *Monitor) State() MonitorState {
 	return MonitorState{
 		Primed:     m.primed,
 		Mode:       m.mode,
-		Tests:      m.tests,
-		Violations: m.violations,
+		Tests:      atomic.LoadUint64(&m.tests),
+		Violations: atomic.LoadUint64(&m.violations),
 	}
 }
 
@@ -34,6 +36,6 @@ func (m *Monitor) State() MonitorState {
 func (m *Monitor) RestoreState(s MonitorState) {
 	m.primed = s.Primed
 	m.mode = s.Mode
-	m.tests = s.Tests
-	m.violations = s.Violations
+	atomic.StoreUint64(&m.tests, s.Tests)
+	atomic.StoreUint64(&m.violations, s.Violations)
 }

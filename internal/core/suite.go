@@ -15,7 +15,11 @@ import (
 // system to a safe state instead of reacting to every single
 // violation.
 //
-// Suite is not safe for concurrent use.
+// Suite is not safe for concurrent mutation: one goroutine registers
+// the monitors and drives Test. The exception is Stats, which may be
+// called concurrently with the driving goroutine once registration is
+// complete — the stream service's metrics endpoint reads a live
+// suite's accounting while its shard goroutine keeps ticking it.
 type Suite struct {
 	monitors map[string]*Monitor
 	order    []string
@@ -163,7 +167,12 @@ type MonitorStats struct {
 }
 
 // Stats returns per-monitor accounting, sorted by name for stable
-// reports.
+// reports. It is safe to call concurrently with the goroutine driving
+// the suite's monitors: the registry is immutable once Add calls have
+// completed (registration must happen-before concurrent readers), a
+// monitor's name and class never change, and the counters are read
+// with atomic loads. A snapshot taken mid-tick may be a test ahead on
+// one monitor and behind on another; each counter is itself exact.
 func (s *Suite) Stats() []MonitorStats {
 	out := make([]MonitorStats, 0, len(s.monitors))
 	for _, m := range s.monitors {

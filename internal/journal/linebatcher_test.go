@@ -1,0 +1,94 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// recordingWriter captures every Write call separately, so tests can
+// check the batcher's write alignment, not just the concatenated bytes.
+type recordingWriter struct {
+	writes [][]byte
+}
+
+func (r *recordingWriter) Write(p []byte) (int, error) {
+	r.writes = append(r.writes, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+// TestLineBatcherLineAlignedWrites is the shared flush contract of the
+// campaign journal Writer and the stream service's violation sinks:
+// every write the batcher issues ends on a line boundary, and the
+// concatenation of all writes reproduces the input exactly.
+func TestLineBatcherLineAlignedWrites(t *testing.T) {
+	rw := &recordingWriter{}
+	b := NewLineBatcher(rw)
+	var want bytes.Buffer
+	// Mixed line lengths, enough volume to force several auto-flushes
+	// past LineBatchBytes.
+	for i := 0; i < 4000; i++ {
+		line := []byte(fmt.Sprintf("line %d %s\n", i, bytes.Repeat([]byte("x"), i%97)))
+		want.Write(line)
+		b.Add(line)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.writes) < 2 {
+		t.Fatalf("got %d writes; the volume should have forced multiple batches", len(rw.writes))
+	}
+	var got bytes.Buffer
+	for i, w := range rw.writes {
+		if len(w) == 0 || w[len(w)-1] != '\n' {
+			t.Fatalf("write %d does not end on a line boundary: %q...", i, w[max(0, len(w)-20):])
+		}
+		if len(w) > LineBatchBytes+97+16 {
+			t.Fatalf("write %d is %d bytes, far past the %d cap", i, len(w), LineBatchBytes)
+		}
+		got.Write(w)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("concatenated writes do not reproduce the input")
+	}
+}
+
+// TestLineBatcherCutMidWriteTolerance proves the property both callers
+// rely on: because no write splits a line except the one a kill lands
+// in, cutting the output at ANY byte offset leaves a prefix whose
+// complete lines are all intact input lines, in order — only the final
+// partial line is lost. The journal Load path and the stream service's
+// detection reader both lean on exactly this.
+func TestLineBatcherCutMidWriteTolerance(t *testing.T) {
+	var out bytes.Buffer
+	b := NewLineBatcher(&out)
+	var lines [][]byte
+	for i := 0; i < 512; i++ {
+		line := []byte(fmt.Sprintf("record %d payload %s\n", i, bytes.Repeat([]byte("y"), i%211)))
+		lines = append(lines, line)
+		b.Add(line)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := out.Bytes()
+
+	// Cut at a spread of offsets, including mid-line and exactly on
+	// line boundaries, and replay the complete-line prefix.
+	for cut := 0; cut <= len(full); cut += 997 {
+		prefix := full[:cut]
+		end := bytes.LastIndexByte(prefix, '\n') + 1
+		complete := bytes.Split(prefix[:end], []byte("\n"))
+		complete = complete[:len(complete)-1] // Split leaves a trailing empty element
+		for i, got := range complete {
+			want := bytes.TrimSuffix(lines[i], []byte("\n"))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("cut at %d: line %d = %q, want %q", cut, i, got, want)
+			}
+		}
+		// The cut loses at most the one split line.
+		if rest := prefix[end:]; len(rest) > 0 && bytes.IndexByte(rest, '\n') != -1 {
+			t.Fatalf("cut at %d: partial tail contains a full line", cut)
+		}
+	}
+}

@@ -12,11 +12,11 @@ import (
 // on a disk hiccup during a progress burst.
 const writerQueueLines = 1024
 
-// writerBatchBytes caps one coalesced write. Batches always end on a
-// line boundary — lines are concatenated whole — so a kill mid-batch
-// truncates at most the final partial line of the final batch, which
-// Load already tolerates.
-const writerBatchBytes = 64 * 1024
+// The coalesced-write cap and the line-aligned flush discipline live
+// in LineBatcher (LineBatchBytes), shared with the stream service's
+// violation sinks: batches always end on a line boundary, so a kill
+// mid-batch truncates at most the final partial line of the final
+// batch, which Load already tolerates.
 
 // Writer appends journal lines through a single drainer goroutine, so
 // campaign workers never block on disk latency. The drainer coalesces
@@ -121,34 +121,35 @@ func newWriter(f *os.File) *Writer {
 }
 
 // drain is the writer goroutine: it blocks for the next line, then
-// opportunistically coalesces everything already queued behind it into
-// one batched write.
+// opportunistically coalesces everything already queued behind it
+// through the shared LineBatcher, which turns the queued lines into
+// line-aligned batched writes.
 func (w *Writer) drain() {
 	defer close(w.done)
-	buf := make([]byte, 0, writerBatchBytes)
+	b := NewLineBatcher(w.f)
+	flush := func() {
+		if err := b.Flush(); err != nil {
+			w.setErr(fmt.Errorf("journal: writing: %w", err))
+		}
+	}
 	for line := range w.ch {
-		buf = append(buf[:0], line...)
+		b.Add(line)
 	coalesce:
-		for len(buf) < writerBatchBytes {
+		for {
 			select {
 			case more, ok := <-w.ch:
 				if !ok {
-					w.write(buf)
+					flush()
 					return
 				}
-				buf = append(buf, more...)
+				b.Add(more)
 			default:
 				break coalesce
 			}
 		}
-		w.write(buf)
+		flush()
 	}
-}
-
-func (w *Writer) write(buf []byte) {
-	if _, err := w.f.Write(buf); err != nil {
-		w.setErr(fmt.Errorf("journal: writing: %w", err))
-	}
+	flush()
 }
 
 func (w *Writer) setErr(err error) {

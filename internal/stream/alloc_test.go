@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"testing"
+)
+
+// The zero-allocation gates, same discipline as internal/inject's: the
+// service is built unstarted so the measured goroutine performs the
+// whole ingest→monitor path itself (validation, partitioning, queue,
+// monitor dispatch, detection rendering) with no scheduler noise, a
+// few warm-up passes create the streams and size the pools, and then
+// the steady state must allocate exactly nothing.
+
+func allocPayload(t *testing.T, streams int, faulty bool) []byte {
+	t.Helper()
+	traces := make(map[uint32][]TraceRow, streams)
+	for id := 0; id < streams; id++ {
+		rows := testTrace(t, 0)[:64]
+		if faulty && id%2 == 1 {
+			rows = FlipBit(rows, 30, id%NumSignals, 15)
+		}
+		traces[uint32(id)] = rows
+	}
+	return interleave(traces, streams, 64)
+}
+
+func ingestGate(t *testing.T, svc *Service, payload []byte, samples int) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector bookkeeping distorts allocation counts; the gate runs in the non-race jobs")
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := svc.Ingest(payload); err != nil {
+			t.Fatal(err)
+		}
+		svc.DrainQueued()
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := svc.Ingest(payload); err != nil {
+			t.Fatal(err)
+		}
+		svc.DrainQueued()
+	})
+	if avg != 0 {
+		t.Errorf("ingest->monitor path allocates: %.2f allocs per %d-sample payload (%.4f/sample), want 0",
+			avg, samples, avg/float64(samples))
+	}
+}
+
+func TestIngestPathZeroAllocs(t *testing.T) {
+	const streams = 8
+	svc, err := NewUnstarted(Config{Shards: 4, MaxStreams: streams, QueueBatches: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestGate(t, svc, allocPayload(t, streams, false), streams*64)
+}
+
+// TestViolatingPathZeroAllocs covers the detection branch too: faulty
+// streams render journal lines every pass (each pass replays from tick
+// 0 without FlagReset, so the restart itself also violates), against a
+// file journal as in production.
+func TestViolatingPathZeroAllocs(t *testing.T) {
+	const streams = 8
+	svc, err := NewUnstarted(Config{Shards: 4, MaxStreams: streams, QueueBatches: 64, JournalDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestGate(t, svc, allocPayload(t, streams, true), streams*64)
+	if svc.Metrics().Detections == 0 {
+		t.Fatal("no detections; the violating-path gate is vacuous")
+	}
+}

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"easig/internal/core"
+	"easig/internal/target"
+)
+
+// streamState is the monitoring state of one plant stream: its own
+// instances of the seven Table 4 assertion monitors, a suite wrapping
+// them for live accounting, and per-stream counters. A streamState is
+// owned by exactly one applier goroutine (its shard, or an Inline
+// reference); the counters and the suite's Stats are the only parts
+// other goroutines read, and both are atomic.
+//
+// The identical apply path is what makes the observer-equivalence
+// guarantee hold by construction: the service's shards and the Inline
+// reference both funnel records through streamState.apply, so they can
+// only diverge if the wire bytes differ.
+type streamState struct {
+	id       uint32
+	mode     int
+	monitors [NumSignals]*core.Monitor
+	suite    *core.Suite
+
+	// Counters, updated by the applier, read atomically by metrics.
+	samples    uint64
+	detections uint64
+	rejected   uint64
+}
+
+// newStreamState builds a stream's monitors with recovery disabled
+// (the service is an observer: it reports errors, it cannot reach into
+// the plant to repair values) and a sink that renders each violation
+// as a detection line on out. onDetect, if non-nil, is bumped
+// atomically per detection (the owning shard's aggregate counter).
+func newStreamState(id uint32, out *detSink, onDetect *uint64) (*streamState, error) {
+	st := &streamState{id: id, suite: core.NewSuite()}
+	sink := core.SinkFunc(func(v core.Violation) {
+		atomic.AddUint64(&st.detections, 1)
+		if onDetect != nil {
+			atomic.AddUint64(onDetect, 1)
+		}
+		out.add(st.id, v)
+	})
+	for k := 0; k < NumSignals; k++ {
+		m, err := target.NewSignalMonitor(k,
+			core.WithRecovery(core.NoRecovery{}),
+			core.WithSink(sink))
+		if err != nil {
+			return nil, fmt.Errorf("stream %d: %w", id, err)
+		}
+		st.monitors[k] = m
+		if err := st.suite.Add(m); err != nil {
+			return nil, fmt.Errorf("stream %d: %w", id, err)
+		}
+	}
+	return st, nil
+}
+
+// apply runs one encoded sample record (RecordBytes long, stream field
+// already verified to be this stream) through the monitors. It
+// allocates nothing. The returned flag reports whether the record was
+// rejected because its mode is unknown to the monitors; rejected
+// records are not tested at all, so one bad mode byte cannot smear a
+// burst of spurious violations across all seven signals.
+func (st *streamState) apply(rec []byte) (rejected bool) {
+	if rec[8]&FlagReset != 0 {
+		for _, m := range st.monitors {
+			m.Reset()
+		}
+	}
+	if mode := int(rec[9]); mode != st.mode {
+		if !st.trySetMode(mode) {
+			atomic.AddUint64(&st.rejected, 1)
+			return true
+		}
+	}
+	tick := int64(be32(rec[4:]))
+	for k, m := range st.monitors {
+		m.Test(tick, int64(be16(rec[10+2*k:])))
+	}
+	atomic.AddUint64(&st.samples, 1)
+	return false
+}
+
+// trySetMode switches every monitor to mode, all or nothing: if any
+// monitor has no parameter set for it, the ones already switched are
+// rolled back and the stream stays in its current mode.
+func (st *streamState) trySetMode(mode int) bool {
+	for k, m := range st.monitors {
+		if err := m.SetMode(mode); err != nil {
+			for j := 0; j < k; j++ {
+				st.monitors[j].SetMode(st.mode)
+			}
+			return false
+		}
+	}
+	st.mode = mode
+	return true
+}
+
+// Samples returns the stream's applied-sample count.
+func (st *streamState) Samples() uint64 { return atomic.LoadUint64(&st.samples) }
+
+// Detections returns the stream's violation count.
+func (st *streamState) Detections() uint64 { return atomic.LoadUint64(&st.detections) }
+
+// Rejected returns the stream's rejected-record count (unknown mode).
+func (st *streamState) Rejected() uint64 { return atomic.LoadUint64(&st.rejected) }

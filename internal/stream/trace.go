@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"easig/internal/physics"
+	"easig/internal/target"
+)
+
+// TraceRow is one tick's observation of the seven monitored signals,
+// in Table 4 order.
+type TraceRow struct {
+	Tick   uint32
+	Values [NumSignals]uint16
+}
+
+// NominalTrace runs the fault-free target plant (an arrestment of
+// massKg at velocityMS) for ticks milliseconds and samples the master
+// node's monitored signals after every step. A fault-free trace
+// satisfies every Table 4 assertion at the 1 ms sampling cadence, so
+// replaying it into sigmond yields zero detections; traces perturbed
+// by FlipBit model the paper's injected data errors. cmd/sigmon's load
+// generator and the stream benchmarks replay these traces.
+func NominalTrace(ticks int, massKg, velocityMS float64, seed int64) ([]TraceRow, error) {
+	sys, err := target.NewSystem(target.SystemConfig{
+		TestCase: physics.TestCase{MassKg: massKg, VelocityMS: velocityMS},
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TraceRow, 0, ticks)
+	for i := 0; i < ticks; i++ {
+		sys.StepMs()
+		v := sys.Master().Vars()
+		rows = append(rows, TraceRow{
+			Tick: uint32(i),
+			Values: [NumSignals]uint16{
+				v.SetValue.Get(),
+				v.IsValue.Get(),
+				v.I.Get(),
+				v.PulsCnt.Get(),
+				v.MsSlotNbr.Get(),
+				v.MsCnt.Get(),
+				v.OutValue.Get(),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// FlipBit returns a copy of rows with one bit flipped in one signal of
+// one tick — the paper's data-error model applied to a trace. Out-of-
+// range indices are a no-op copy.
+func FlipBit(rows []TraceRow, tick, signal, bit int) []TraceRow {
+	out := append([]TraceRow(nil), rows...)
+	if tick >= 0 && tick < len(out) && signal >= 0 && signal < NumSignals && bit >= 0 && bit < 16 {
+		out[tick].Values[signal] ^= 1 << bit
+	}
+	return out
+}
+
+// EncodeTrace renders a trace as wire batches for one stream:
+// batchSize records per batch, FlagReset on the first record when
+// reset is set. The result is a valid Ingest payload.
+func EncodeTrace(dst []byte, streamID uint32, rows []TraceRow, batchSize int, reset bool) []byte {
+	if batchSize <= 0 || batchSize > MaxBatchRecords {
+		batchSize = MaxBatchRecords
+	}
+	for off := 0; off < len(rows); off += batchSize {
+		end := off + batchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		dst = AppendHeader(dst, end-off)
+		for i := off; i < end; i++ {
+			r := Record{Stream: streamID, Tick: rows[i].Tick, Values: rows[i].Values}
+			if reset && i == 0 {
+				r.Flags = FlagReset
+			}
+			dst = AppendRecord(dst, r)
+		}
+	}
+	return dst
+}
